@@ -1,0 +1,156 @@
+//! Trained-weight distribution histograms (paper Figure 6).
+//!
+//! A feature whose weights pile up at the saturation points carries strong
+//! (positive or negative) signal; one whose weights stay near zero learned
+//! nothing and was rejected from the design.
+
+use ppf::{WeightTable, WEIGHT_MAX, WEIGHT_MIN};
+
+/// Histogram of one weight table's values, one bucket per weight value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightHistogram {
+    counts: Vec<u64>,
+}
+
+impl WeightHistogram {
+    /// Builds the histogram of a weight table.
+    pub fn of(table: &WeightTable) -> Self {
+        let span = (i32::from(WEIGHT_MAX) - i32::from(WEIGHT_MIN) + 1) as usize;
+        let mut counts = vec![0u64; span];
+        for &w in table.weights() {
+            counts[(i32::from(w) - i32::from(WEIGHT_MIN)) as usize] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Accumulates another histogram into this one (the paper concatenates
+    /// weights across all trace executions before plotting Fig. 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket counts differ (they cannot, for 5-bit weights).
+    pub fn merge(&mut self, other: &WeightHistogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "bucket mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Count of weights equal to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the 5-bit weight range.
+    pub fn count(&self, value: i8) -> u64 {
+        assert!((WEIGHT_MIN..=WEIGHT_MAX).contains(&value), "weight out of range");
+        self.counts[(i32::from(value) - i32::from(WEIGHT_MIN)) as usize]
+    }
+
+    /// Total weights counted.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of weights with |w| ≤ `band` — the "settled near zero" mass
+    /// the paper uses to reject uninformative features.
+    pub fn near_zero_fraction(&self, band: i8) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let near: u64 = (-band..=band).map(|v| self.count(v)).sum();
+        near as f64 / total as f64
+    }
+
+    /// Fraction of weights at either saturation point.
+    pub fn saturated_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.count(WEIGHT_MIN) + self.count(WEIGHT_MAX)) as f64 / total as f64
+    }
+
+    /// Renders the histogram as a horizontal ASCII bar chart (the Fig. 6
+    /// panels), skipping the zero bucket's dominance by scaling to the
+    /// largest non-zero-value bucket.
+    pub fn render(&self, title: &str, width: usize) -> String {
+        let mut s = format!("{title}\n");
+        let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        for v in WEIGHT_MIN..=WEIGHT_MAX {
+            let c = self.count(v);
+            let bar = (c as usize * width).div_ceil(max as usize);
+            s.push_str(&format!("{v:>4} | {:<width$} {c}\n", "#".repeat(bar)));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppf::WeightTable;
+
+    fn table_with(values: &[i8]) -> WeightTable {
+        let mut t = WeightTable::new(values.len().next_power_of_two());
+        for (i, &v) in values.iter().enumerate() {
+            let steps = v.unsigned_abs();
+            for _ in 0..steps {
+                t.bump(i, v > 0);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = WeightHistogram::of(&table_with(&[5]));
+        let b = WeightHistogram::of(&table_with(&[5, -2]));
+        a.merge(&b);
+        assert_eq!(a.count(5), 2);
+        assert_eq!(a.count(-2), 1);
+    }
+
+    #[test]
+    fn counts_values() {
+        let t = table_with(&[5, 5, -3, 0]);
+        let h = WeightHistogram::of(&t);
+        assert_eq!(h.count(5), 2);
+        assert_eq!(h.count(-3), 1);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn near_zero_fraction_detects_flat_tables() {
+        let flat = WeightTable::new(64);
+        let h = WeightHistogram::of(&flat);
+        assert_eq!(h.near_zero_fraction(1), 1.0);
+    }
+
+    #[test]
+    fn saturation_detected() {
+        let mut t = WeightTable::new(4);
+        for _ in 0..40 {
+            t.bump(0, true);
+            t.bump(1, false);
+        }
+        let h = WeightHistogram::of(&t);
+        assert_eq!(h.saturated_fraction(), 0.5);
+    }
+
+    #[test]
+    fn render_contains_all_buckets() {
+        let h = WeightHistogram::of(&table_with(&[1, -1]));
+        let out = h.render("demo", 20);
+        assert!(out.contains("demo"));
+        assert!(out.contains(" -16 |"));
+        assert!(out.contains("  15 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "weight out of range")]
+    fn out_of_range_count_panics() {
+        WeightHistogram::of(&WeightTable::new(4)).count(16);
+    }
+}

@@ -1,0 +1,209 @@
+//! Pearson-correlation feature analysis (paper Sec 5.5).
+//!
+//! The paper judges each perceptron feature by how strongly the weights it
+//! selects correlate with the prefetch outcome: per training event it has
+//! a weight value (what the feature "said") and the ground truth (useful or
+//! not). Features whose selected weights track the outcome get a high
+//! Pearson coefficient; features that stay near zero or fire randomly get a
+//! low one and were pruned from the design.
+
+use ppf::{FeatureKind, TrainingEvent};
+
+/// Pearson's linear correlation coefficient between two equal-length series.
+///
+/// Returns 0 when either series has no variance (a flat feature carries no
+/// signal, which for feature selection is equivalent to no correlation).
+///
+/// # Panics
+///
+/// Panics if the series lengths differ or are empty.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series length mismatch");
+    assert!(!xs.is_empty(), "correlation of nothing");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Per-feature correlation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureCorrelation {
+    /// The feature.
+    pub feature: FeatureKind,
+    /// Pearson coefficient between the feature's selected weight and the
+    /// outcome across the event log.
+    pub r: f64,
+    /// Number of events examined.
+    pub events: usize,
+}
+
+/// Computes each feature's Pearson coefficient from a PPF training-event
+/// log (the feature order must match the log's weight order).
+///
+/// # Panics
+///
+/// Panics if any event's weight count differs from the feature count.
+pub fn feature_correlations(
+    features: &[FeatureKind],
+    events: &[TrainingEvent],
+) -> Vec<FeatureCorrelation> {
+    if events.is_empty() {
+        return features
+            .iter()
+            .map(|&feature| FeatureCorrelation { feature, r: 0.0, events: 0 })
+            .collect();
+    }
+    let outcomes: Vec<f64> =
+        events.iter().map(|e| if e.useful { 1.0 } else { -1.0 }).collect();
+    features
+        .iter()
+        .enumerate()
+        .map(|(i, &feature)| {
+            let weights: Vec<f64> = events
+                .iter()
+                .map(|e| {
+                    assert_eq!(e.weights.len(), features.len(), "weight arity mismatch");
+                    f64::from(e.weights[i])
+                })
+                .collect();
+            FeatureCorrelation { feature, r: pearson(&weights, &outcomes), events: events.len() }
+        })
+        .collect()
+}
+
+/// Cross-correlation matrix between features over the event log (paper:
+/// pairs with |r| > 0.9 are redundant; one of each pair was eliminated).
+pub fn cross_correlation_matrix(
+    features: &[FeatureKind],
+    events: &[TrainingEvent],
+) -> Vec<Vec<f64>> {
+    let n = features.len();
+    if events.is_empty() {
+        return vec![vec![0.0; n]; n];
+    }
+    let series: Vec<Vec<f64>> = (0..n)
+        .map(|i| events.iter().map(|e| f64::from(e.weights[i])).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| if i == j { 1.0 } else { pearson(&series[i], &series[j]) })
+                .collect()
+        })
+        .collect()
+}
+
+/// Identifies redundant feature pairs (|r| above `threshold`).
+pub fn redundant_pairs(
+    features: &[FeatureKind],
+    events: &[TrainingEvent],
+    threshold: f64,
+) -> Vec<(FeatureKind, FeatureKind, f64)> {
+    let m = cross_correlation_matrix(features, events);
+    let mut out = Vec::new();
+    for i in 0..features.len() {
+        for j in i + 1..features.len() {
+            if m[i][j].abs() > threshold {
+                out.push((features[i], features[j], m[i][j]));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_anticorrelation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_variance_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn independent_is_small() {
+        // Deterministic pseudo-random pairing.
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64).collect();
+        let ys: Vec<f64> = (0..1000).map(|i| ((i * 53) % 97) as f64).collect();
+        assert!(pearson(&xs, &ys).abs() < 0.15);
+    }
+
+    fn event(weights: Vec<i8>, useful: bool) -> TrainingEvent {
+        TrainingEvent { weights, useful }
+    }
+
+    #[test]
+    fn feature_correlation_separates_signal_from_noise() {
+        let features = vec![FeatureKind::Confidence, FeatureKind::RawPc];
+        // Feature 0's weight tracks the outcome; feature 1's is constant.
+        let mut events = Vec::new();
+        for i in 0..100 {
+            let useful = i % 2 == 0;
+            events.push(event(vec![if useful { 10 } else { -10 }, 3], useful));
+        }
+        let cs = feature_correlations(&features, &events);
+        assert!(cs[0].r > 0.99, "signal feature r = {}", cs[0].r);
+        assert_eq!(cs[1].r, 0.0);
+        assert_eq!(cs[0].events, 100);
+    }
+
+    #[test]
+    fn empty_log_yields_zeroes() {
+        let features = FeatureKind::default_set();
+        let cs = feature_correlations(&features, &[]);
+        assert_eq!(cs.len(), 9);
+        assert!(cs.iter().all(|c| c.r == 0.0 && c.events == 0));
+    }
+
+    #[test]
+    fn cross_correlation_flags_redundant_pair() {
+        let features =
+            vec![FeatureKind::Confidence, FeatureKind::PageAddr, FeatureKind::RawPc];
+        let mut events = Vec::new();
+        for i in 0..200i16 {
+            let v = (i % 21 - 10) as i8;
+            // Features 0 and 1 identical; feature 2 independent-ish.
+            events.push(event(vec![v, v, ((i * 7) % 13 - 6) as i8], i % 2 == 0));
+        }
+        let pairs = redundant_pairs(&features, &events, 0.9);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, FeatureKind::Confidence);
+        assert_eq!(pairs[0].1, FeatureKind::PageAddr);
+        assert!(pairs[0].2 > 0.99);
+    }
+
+    #[test]
+    fn matrix_diagonal_is_one() {
+        let features = vec![FeatureKind::Confidence, FeatureKind::RawPc];
+        let events = vec![event(vec![1, 2], true), event(vec![3, 4], false)];
+        let m = cross_correlation_matrix(&features, &events);
+        assert_eq!(m[0][0], 1.0);
+        assert_eq!(m[1][1], 1.0);
+    }
+}

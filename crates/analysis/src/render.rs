@@ -1,0 +1,169 @@
+//! Terminal rendering for the experiment harness: aligned tables and
+//! sorted-series "figures" matching the paper's plots.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (RFC 4180 quoting for cells that need it).
+    pub fn to_csv(&self) -> String {
+        fn cell(c: &str) -> String {
+            if c.contains([',', '"', '\n']) {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        }
+        let mut s = String::new();
+        for row in std::iter::once(&self.headers).chain(&self.rows) {
+            let line: Vec<String> = row.iter().map(|c| cell(c)).collect();
+            s.push_str(&line.join(","));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Renders with per-column alignment (first column left, rest right).
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+                } else {
+                    line.push_str(&format!("  {:>width$}", cells[i], width = widths[i]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        let mut s = fmt_row(&self.headers);
+        s.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))));
+        for row in &self.rows {
+            s.push_str(&fmt_row(row));
+        }
+        s
+    }
+}
+
+/// Renders a labelled horizontal bar chart (for speedup "figures").
+///
+/// Bars are scaled to `width` characters at `max` (values above clip).
+pub fn bar_chart(title: &str, items: &[(String, f64)], max: f64, width: usize) -> String {
+    let mut s = format!("{title}\n");
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, v) in items {
+        let frac = (v / max).clamp(0.0, 1.0);
+        let bar = (frac * width as f64).round() as usize;
+        s.push_str(&format!(
+            "{label:<label_w$} | {:<width$} {v:.3}\n",
+            "█".repeat(bar)
+        ));
+    }
+    s
+}
+
+/// Renders a sorted-series plot (paper Figs. 11/12: per-mix speedups sorted
+/// ascending, one row per bucket of mixes).
+pub fn sorted_series(title: &str, mut values: Vec<f64>, width: usize) -> String {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let mut s = format!("{title} ({} points, sorted ascending)\n", values.len());
+    let max = values.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
+    for (i, v) in values.iter().enumerate() {
+        let bar = ((v / max) * width as f64).round() as usize;
+        s.push_str(&format!("#{:>3} | {:<width$} {v:.3}\n", i, "▪".repeat(bar)));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(vec!["app", "ipc"]);
+        t.row(vec!["bwaves", "1.50"]);
+        t.row(vec!["x", "10.00"]);
+        let out = t.render();
+        assert!(out.contains("app"));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_quotes_when_needed() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["plain", "1"]);
+        t.row(vec!["with,comma", "with\"quote"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"with,comma\",\"with\"\"quote\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn table_rejects_ragged_rows() {
+        TextTable::new(vec!["a", "b"]).row(vec!["only one"]);
+    }
+
+    #[test]
+    fn bar_chart_scales() {
+        let items = vec![("a".to_string(), 1.0), ("bb".to_string(), 2.0)];
+        let out = bar_chart("t", &items, 2.0, 10);
+        assert!(out.contains("t\n"));
+        assert!(out.contains("██████████ 2.000"));
+    }
+
+    #[test]
+    fn sorted_series_sorts() {
+        let out = sorted_series("s", vec![3.0, 1.0, 2.0], 10);
+        let pos1 = out.find("1.000").unwrap();
+        let pos3 = out.find("3.000").unwrap();
+        assert!(pos1 < pos3);
+    }
+}

@@ -1,0 +1,170 @@
+//! Speedup statistics used throughout the paper's evaluation (Sec 5.3).
+
+/// Geometric mean of positive values.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or any value is not positive.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geometric mean of nothing");
+    assert!(xs.iter().all(|&x| x > 0.0), "geometric mean needs positive values");
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of nothing");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// The paper's multi-core metric: weighted-IPC speedup of a mix.
+///
+/// For each core `i`, `ipc[i]` is its IPC in the mix and `ipc_isolated[i]`
+/// its IPC running alone on an equal-LLC machine; the mix's weighted IPC is
+/// `Σ ipc[i] / ipc_isolated[i]`. The returned value is that sum normalized
+/// by the same sum for a baseline (no-prefetching) run of the mix.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ or any isolated IPC is not positive.
+pub fn weighted_speedup(
+    ipc: &[f64],
+    ipc_baseline: &[f64],
+    ipc_isolated: &[f64],
+) -> f64 {
+    assert_eq!(ipc.len(), ipc_isolated.len(), "core count mismatch");
+    assert_eq!(ipc.len(), ipc_baseline.len(), "core count mismatch");
+    assert!(ipc_isolated.iter().all(|&x| x > 0.0), "isolated IPC must be positive");
+    let w: f64 = ipc.iter().zip(ipc_isolated).map(|(&a, &b)| a / b).sum();
+    let w0: f64 = ipc_baseline.iter().zip(ipc_isolated).map(|(&a, &b)| a / b).sum();
+    assert!(w0 > 0.0, "baseline weighted IPC must be positive");
+    w / w0
+}
+
+/// A bootstrap confidence interval for the geometric mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound (2.5th percentile).
+    pub lo: f64,
+    /// Point estimate (the geometric mean of the sample).
+    pub point: f64,
+    /// Upper bound (97.5th percentile).
+    pub hi: f64,
+}
+
+/// Deterministic 95% bootstrap confidence interval for the geometric mean
+/// of `xs` (resampling with replacement, `iters` replicates, SplitMix-style
+/// deterministic indices from `seed`).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty, non-positive, or `iters == 0`.
+pub fn geomean_bootstrap_ci(xs: &[f64], iters: usize, seed: u64) -> ConfidenceInterval {
+    assert!(iters > 0, "need bootstrap replicates");
+    let point = geometric_mean(xs);
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut replicates: Vec<f64> = (0..iters)
+        .map(|_| {
+            let log_sum: f64 = (0..xs.len())
+                .map(|_| xs[(next() % xs.len() as u64) as usize].ln())
+                .sum();
+            (log_sum / xs.len() as f64).exp()
+        })
+        .collect();
+    replicates.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let q = |p: f64| replicates[((replicates.len() - 1) as f64 * p).round() as usize];
+    ConfidenceInterval { lo: q(0.025), point, hi: q(0.975) }
+}
+
+/// Percent improvement of `new` over `old` (e.g. `1.0378` → `3.78`).
+pub fn percent_gain(new: f64, old: f64) -> f64 {
+    (new / old - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_less_than_mean_for_spread() {
+        let xs = [1.0, 10.0];
+        assert!(geometric_mean(&xs) < mean(&xs));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn weighted_speedup_identity() {
+        let ipc = [1.0, 2.0];
+        assert!((weighted_speedup(&ipc, &ipc, &[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_improvement() {
+        // Each core 20% faster than baseline -> 1.2 overall.
+        let base = [1.0, 1.0];
+        let now = [1.2, 1.2];
+        let iso = [2.0, 3.0];
+        assert!((weighted_speedup(&now, &base, &iso) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_weights_by_isolation() {
+        // Speeding up the core that is more degraded relative to isolation
+        // counts more.
+        let iso = [1.0, 1.0];
+        let base = [0.5, 1.0];
+        let a = weighted_speedup(&[0.75, 1.0], &base, &iso); // +0.25 on slow core
+        let b = weighted_speedup(&[0.5, 1.25], &base, &iso); // +0.25 on fast core
+        assert!((a - b).abs() < 1e-12, "equal absolute ratios count equally");
+        assert!(a > 1.0);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_point_and_is_deterministic() {
+        let xs = [1.0, 1.1, 1.2, 0.9, 1.05, 1.3, 1.15, 0.95];
+        let a = geomean_bootstrap_ci(&xs, 500, 7);
+        let b = geomean_bootstrap_ci(&xs, 500, 7);
+        assert_eq!(a, b, "same seed, same interval");
+        assert!(a.lo <= a.point && a.point <= a.hi);
+        assert!(a.lo >= 0.9 && a.hi <= 1.3);
+        // A different seed shifts the interval slightly but not wildly.
+        let c = geomean_bootstrap_ci(&xs, 500, 8);
+        assert!((a.lo - c.lo).abs() < 0.1);
+    }
+
+    #[test]
+    fn bootstrap_ci_tightens_for_constant_data() {
+        let xs = [2.0; 16];
+        let ci = geomean_bootstrap_ci(&xs, 200, 1);
+        assert!((ci.lo - 2.0).abs() < 1e-12 && (ci.hi - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_gain_signs() {
+        assert!((percent_gain(1.0378, 1.0) - 3.78).abs() < 1e-10);
+        assert!(percent_gain(0.9, 1.0) < 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests of the statistics utilities.
+
+use ppf_analysis::{geometric_mean, mean, pearson_r, sorted_series, weighted_speedup};
+use proptest::prelude::*;
+
+fn positive_series() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..100.0, 1..50)
+}
+
+proptest! {
+    /// Pearson's r is always within [-1, 1].
+    #[test]
+    fn pearson_bounded(pairs in proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 2..200)) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r = pearson_r(&xs, &ys);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+    }
+
+    /// Pearson is symmetric and scale-invariant.
+    #[test]
+    fn pearson_symmetric_and_scale_invariant(
+        pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..100),
+        scale in 0.1f64..100.0,
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r1 = pearson_r(&xs, &ys);
+        let r2 = pearson_r(&ys, &xs);
+        prop_assert!((r1 - r2).abs() < 1e-9);
+        let scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+        let r3 = pearson_r(&scaled, &ys);
+        prop_assert!((r1 - r3).abs() < 1e-6, "{r1} vs {r3}");
+    }
+
+    /// The geometric mean lies between min and max and never exceeds the
+    /// arithmetic mean (AM–GM).
+    #[test]
+    fn geomean_am_gm(xs in positive_series()) {
+        let g = geometric_mean(&xs);
+        let a = mean(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(g >= lo - 1e-9 && g <= hi + 1e-9);
+        prop_assert!(g <= a + 1e-9, "GM {g} > AM {a}");
+    }
+
+    /// Weighted speedup of a run against itself is exactly 1, and scaling
+    /// every core's IPC by `k` scales the speedup by `k`.
+    #[test]
+    fn weighted_speedup_linear(
+        ipc in proptest::collection::vec(0.01f64..4.0, 1..9),
+        k in 0.1f64..3.0,
+    ) {
+        let iso: Vec<f64> = ipc.iter().map(|x| x + 0.5).collect();
+        prop_assert!((weighted_speedup(&ipc, &ipc, &iso) - 1.0).abs() < 1e-9);
+        let faster: Vec<f64> = ipc.iter().map(|x| x * k).collect();
+        let ws = weighted_speedup(&faster, &ipc, &iso);
+        prop_assert!((ws - k).abs() < 1e-9, "ws {ws} vs k {k}");
+    }
+
+    /// `sorted_series` renders one line per value plus a title, in
+    /// non-decreasing order.
+    #[test]
+    fn sorted_series_shape(xs in proptest::collection::vec(0.0f64..10.0, 1..40)) {
+        let out = sorted_series("t", xs.clone(), 10);
+        prop_assert_eq!(out.lines().count(), xs.len() + 1);
+        let values: Vec<f64> = out
+            .lines()
+            .skip(1)
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<f64>().unwrap())
+            .collect();
+        prop_assert!(values.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+    }
+}

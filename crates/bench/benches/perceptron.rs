@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks for the PPF perceptron path: inference,
+//! recording and training throughput (the operations the paper argues fit
+//! in L2 access time, Sec 5.6).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ppf::{Decision, FeatureInputs, PpfConfig, PpfFilter};
+
+fn inputs(i: u64) -> FeatureInputs {
+    FeatureInputs {
+        trigger_addr: 0x1000_0000 + i * 64,
+        trigger_pc: 0x400000 + (i % 64) * 4,
+        pc_1: 0x400100,
+        pc_2: 0x400200,
+        pc_3: 0x400300,
+        signature: (i % 4096) as u16,
+        last_signature: ((i + 7) % 4096) as u16,
+        confidence: (i % 101) as u8,
+        delta: ((i % 63) as i16) - 31,
+        depth: (i % 16) as u8 + 1,
+    }
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perceptron");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("infer", |b| {
+        let mut f = PpfFilter::new(PpfConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(f.infer(&inputs(i)))
+        });
+    });
+    g.bench_function("infer_record", |b| {
+        let mut f = PpfFilter::new(PpfConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let inp = inputs(i);
+            let (d, sum) = f.infer(&inp);
+            f.record(black_box(inp.trigger_addr + 64), inp, sum, d);
+            black_box(d)
+        });
+    });
+    g.bench_function("full_train_cycle", |b| {
+        let mut f = PpfFilter::new(PpfConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let inp = inputs(i);
+            let addr = inp.trigger_addr + 64;
+            let (d, sum) = f.infer(&inp);
+            f.record(addr, inp, sum, d);
+            if d == Decision::Reject || i.is_multiple_of(2) {
+                f.train_on_demand(addr);
+            } else {
+                f.train_on_eviction(addr, false);
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks: candidate-generation throughput of each
+//! prefetcher on a mixed access stream.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ppf::Ppf;
+use ppf_prefetchers::{Bop, DaAmpm, Spp};
+use ppf_sim::{AccessContext, Prefetcher};
+use ppf_trace::{TraceBuilder, Workload};
+
+fn drive<P: Prefetcher>(c: &mut Criterion, name: &str, mut pf: P) {
+    let w = Workload::by_name("602.gcc_s").expect("workload");
+    let mut gen = TraceBuilder::new(w).seed(3).shrink(3).build();
+    let mut out = Vec::new();
+    let mut cycle = 0u64;
+    let mut g = c.benchmark_group("prefetchers");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function(name, |b| {
+        b.iter(|| {
+            let rec = gen.next_record();
+            cycle += 1;
+            let ctx = AccessContext {
+                pc: rec.pc,
+                addr: rec.addr,
+                is_store: false,
+                l2_hit: cycle.is_multiple_of(2),
+                cycle,
+                core: 0,
+            };
+            out.clear();
+            pf.on_demand_access(&ctx, &mut out);
+            black_box(out.len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_all(c: &mut Criterion) {
+    drive(c, "spp", Spp::default());
+    drive(c, "bop", Bop::default());
+    drive(c, "da_ampm", DaAmpm::default());
+    drive(c, "ppf_over_spp", Ppf::new(Spp::default()));
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

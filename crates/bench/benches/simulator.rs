@@ -1,0 +1,38 @@
+//! Criterion macro-benchmark: whole-simulator throughput (instructions
+//! simulated per second) with and without prefetching.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ppf::Ppf;
+use ppf_prefetchers::Spp;
+use ppf_sim::{run_single_core, NoPrefetcher, Prefetcher, SystemConfig};
+use ppf_trace::{TraceBuilder, Workload};
+
+const INSTR: u64 = 100_000;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(INSTR));
+    for (name, mk) in [
+        ("baseline", (|| Box::new(NoPrefetcher) as Box<dyn Prefetcher>) as fn() -> Box<dyn Prefetcher>),
+        ("spp", || Box::new(Spp::default())),
+        ("ppf", || Box::new(Ppf::new(Spp::default()))),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let w = Workload::by_name("621.wrf_s").expect("workload");
+                    (Box::new(TraceBuilder::new(w).seed(5).build()), mk())
+                },
+                |(trace, pf)| {
+                    run_single_core(SystemConfig::single_core(), "wrf", trace, pf, 10_000, INSTR)
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

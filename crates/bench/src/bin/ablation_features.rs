@@ -1,0 +1,51 @@
+//! Ablation — drop each of the nine features in turn and measure the
+//! geomean speedup on the memory-intensive subset (quantifies each
+//! feature's contribution, complementing the paper's Sec 5.5 analysis).
+
+use ppf::{FeatureKind, Ppf, PpfConfig};
+use ppf_analysis::{geometric_mean, TextTable};
+use ppf_bench::{run_single, RunScale, Scheme};
+use ppf_prefetchers::Spp;
+use ppf_sim::{Prefetcher, Simulation, SystemConfig};
+use ppf_trace::{Suite, TraceBuilder, Workload};
+
+fn run_with_features(w: &Workload, features: Vec<FeatureKind>, scale: RunScale) -> f64 {
+    let cfg = PpfConfig { features, ..PpfConfig::default() };
+    let pf: Box<dyn Prefetcher> = Box::new(Ppf::with_config(Spp::default(), cfg));
+    let trace = Box::new(TraceBuilder::new(w.clone()).seed(42).build());
+    let mut sim = Simulation::new(SystemConfig::single_core());
+    sim.add_core(w.name(), trace, pf);
+    sim.run(scale.warmup, scale.measure).ipc()
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let workloads = Workload::memory_intensive(Suite::Spec2017);
+    let full = FeatureKind::default_set();
+
+    // Baselines per workload.
+    let mut base = Vec::new();
+    for w in &workloads {
+        base.push(run_single(SystemConfig::single_core(), w, Scheme::Baseline, scale).ipc());
+        eprintln!("  baseline {} done", w.name());
+    }
+
+    let mut t = TextTable::new(vec!["configuration", "geomean speedup"]);
+    let eval = |label: String, features: Vec<FeatureKind>, t: &mut TextTable| {
+        let mut xs = Vec::new();
+        for (w, b) in workloads.iter().zip(&base) {
+            xs.push(run_with_features(w, features.clone(), scale) / b);
+        }
+        let g = geometric_mean(&xs);
+        eprintln!("  {label}: {g:.3}");
+        t.row(vec![label, format!("{g:.3}")]);
+    };
+
+    eval("all nine features".to_string(), full.clone(), &mut t);
+    for skip in &full {
+        let subset: Vec<FeatureKind> = full.iter().copied().filter(|f| f != skip).collect();
+        eval(format!("without {}", skip.label()), subset, &mut t);
+    }
+    println!("\nFeature ablation — PPF geomean speedup, memory-intensive subset\n");
+    print!("{}", t.render());
+}

@@ -1,0 +1,40 @@
+//! Extension ablation — LRU (the paper's configuration) versus SRRIP
+//! replacement in the L2/LLC, with and without PPF. Scan-resistant
+//! replacement overlaps partially with prefetch filtering (both fight
+//! pollution), so their gains do not simply add.
+
+use ppf_analysis::{geometric_mean, TextTable};
+use ppf_bench::{run_single, RunScale, Scheme};
+use ppf_sim::{ReplacementPolicy, SystemConfig};
+use ppf_trace::{Suite, Workload};
+
+fn cfg_with(policy: ReplacementPolicy) -> SystemConfig {
+    let mut c = SystemConfig::single_core();
+    c.l2.policy = policy;
+    c.llc.policy = policy;
+    c
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let workloads = Workload::memory_intensive(Suite::Spec2017);
+    println!("Replacement-policy ablation — memory-intensive subset\n");
+    let mut t = TextTable::new(vec!["policy", "SPP", "PPF"]);
+    for (label, policy) in
+        [("LRU (paper)", ReplacementPolicy::Lru), ("SRRIP", ReplacementPolicy::Srrip)]
+    {
+        let mut cells = vec![label.to_string()];
+        for scheme in [Scheme::Spp, Scheme::Ppf] {
+            let mut xs = Vec::new();
+            for w in &workloads {
+                let base = run_single(cfg_with(policy), w, Scheme::Baseline, scale);
+                let r = run_single(cfg_with(policy), w, scheme, scale);
+                xs.push(r.ipc() / base.ipc());
+            }
+            eprintln!("  {label}/{}: done", scheme.label());
+            cells.push(format!("{:.3}", geometric_mean(&xs)));
+        }
+        t.row(cells);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,64 @@
+//! Ablation — scale the perceptron weight tables and metadata tables up and
+//! down (the paper's Sec 5.6 claim: the perceptron block can be scaled to
+//! fit the budget).
+
+use ppf::{FeatureKind, Ppf, PpfConfig, StorageBudget};
+use ppf_analysis::{geometric_mean, TextTable};
+use ppf_bench::{run_single, RunScale, Scheme};
+use ppf_prefetchers::{Spp, SppConfig};
+use ppf_sim::{Prefetcher, Simulation, SystemConfig};
+use ppf_trace::{Suite, TraceBuilder, Workload};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let workloads = Workload::memory_intensive(Suite::Spec2017);
+    let mut base = Vec::new();
+    for w in &workloads {
+        base.push(run_single(SystemConfig::single_core(), w, Scheme::Baseline, scale).ipc());
+        eprintln!("  baseline {} done", w.name());
+    }
+
+    println!("Table-size ablation — PPF geomean speedup vs. storage\n");
+    let mut t = TextTable::new(vec!["metadata tables", "features", "storage (KB)", "geomean"]);
+    let feature_sets: [(&str, Vec<FeatureKind>); 2] = [
+        ("nine (paper)", FeatureKind::default_set()),
+        (
+            "top-4 only",
+            vec![
+                FeatureKind::PhysAddr,
+                FeatureKind::CacheLine,
+                FeatureKind::PageAddr,
+                FeatureKind::ConfidenceXorPage,
+            ],
+        ),
+    ];
+    for (fs_label, features) in feature_sets {
+        for table_entries in [256usize, 1024, 4096] {
+            let cfg = PpfConfig {
+                prefetch_table_entries: table_entries,
+                reject_table_entries: table_entries,
+                features: features.clone(),
+                ..PpfConfig::default()
+            };
+            let kb = StorageBudget::compute(&SppConfig::default(), &cfg).total_kb();
+            let mut xs = Vec::new();
+            for (w, b) in workloads.iter().zip(&base) {
+                let pf: Box<dyn Prefetcher> =
+                    Box::new(Ppf::with_config(Spp::default(), cfg.clone()));
+                let trace = Box::new(TraceBuilder::new(w.clone()).seed(42).build());
+                let mut sim = Simulation::new(SystemConfig::single_core());
+                sim.add_core(w.name(), trace, pf);
+                xs.push(sim.run(scale.warmup, scale.measure).ipc() / b);
+            }
+            let g = geometric_mean(&xs);
+            eprintln!("  {fs_label}/{table_entries}: {g:.3}");
+            t.row(vec![
+                table_entries.to_string(),
+                fs_label.to_string(),
+                format!("{kb:.1}"),
+                format!("{g:.3}"),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,47 @@
+//! Ablation — sweep PPF's inference thresholds (τ_hi/τ_lo) and training
+//! saturation thresholds (θ_p/θ_n) on the memory-intensive subset.
+
+use ppf::{Ppf, PpfConfig};
+use ppf_analysis::{geometric_mean, TextTable};
+use ppf_bench::{run_single, RunScale, Scheme};
+use ppf_prefetchers::Spp;
+use ppf_sim::{Prefetcher, Simulation, SystemConfig};
+use ppf_trace::{Suite, TraceBuilder, Workload};
+
+fn geomean_speedup(workloads: &[Workload], base: &[f64], cfg: &PpfConfig, scale: RunScale) -> f64 {
+    let mut xs = Vec::new();
+    for (w, b) in workloads.iter().zip(base) {
+        let pf: Box<dyn Prefetcher> = Box::new(Ppf::with_config(Spp::default(), cfg.clone()));
+        let trace = Box::new(TraceBuilder::new(w.clone()).seed(42).build());
+        let mut sim = Simulation::new(SystemConfig::single_core());
+        sim.add_core(w.name(), trace, pf);
+        xs.push(sim.run(scale.warmup, scale.measure).ipc() / b);
+    }
+    geometric_mean(&xs)
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let workloads = Workload::memory_intensive(Suite::Spec2017);
+    let mut base = Vec::new();
+    for w in &workloads {
+        base.push(run_single(SystemConfig::single_core(), w, Scheme::Baseline, scale).ipc());
+        eprintln!("  baseline {} done", w.name());
+    }
+
+    println!("Threshold ablation — PPF geomean speedup, memory-intensive subset\n");
+    let mut t = TextTable::new(vec!["tau_hi", "tau_lo", "theta_p", "theta_n", "geomean"]);
+    for (hi, lo) in [(-5, -15), (0, -10), (10, -5), (-10, -25), (25, 0)] {
+        let cfg = PpfConfig { tau_hi: hi, tau_lo: lo, ..PpfConfig::default() };
+        let g = geomean_speedup(&workloads, &base, &cfg, scale);
+        eprintln!("  tau ({hi},{lo}): {g:.3}");
+        t.row(vec![hi.to_string(), lo.to_string(), "90".into(), "-80".into(), format!("{g:.3}")]);
+    }
+    for (p, n) in [(90, -80), (40, -35), (135, -144)] {
+        let cfg = PpfConfig { theta_p: p, theta_n: n, ..PpfConfig::default() };
+        let g = geomean_speedup(&workloads, &base, &cfg, scale);
+        eprintln!("  theta ({p},{n}): {g:.3}");
+        t.row(vec!["-5".into(), "-15".into(), p.to_string(), n.to_string(), format!("{g:.3}")]);
+    }
+    print!("{}", t.render());
+}

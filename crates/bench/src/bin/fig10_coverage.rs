@@ -1,0 +1,43 @@
+//! Figure 10 — fraction of L2 and LLC demand misses covered by each
+//! prefetcher on the SPEC CPU 2017 models.
+
+use ppf_analysis::{mean, TextTable};
+use ppf_bench::{coverage, run_suite, RunScale, Scheme};
+use ppf_sim::SystemConfig;
+use ppf_trace::Workload;
+
+fn main() {
+    let scale = RunScale::from_args();
+    let workloads = Workload::spec2017();
+    eprintln!("Figure 10: running {} workloads x 5 schemes...", workloads.len());
+    let rows = run_suite(&workloads, SystemConfig::single_core, scale);
+
+    let mut t = TextTable::new(vec!["scheme", "L2 coverage", "LLC coverage"]);
+    for s in Scheme::prefetchers() {
+        let mut l2 = Vec::new();
+        let mut llc = Vec::new();
+        for row in &rows {
+            let base = row.report(Scheme::Baseline);
+            let with = row.report(s);
+            // Skip apps with negligible baseline misses (coverage undefined).
+            if base.cores[0].l2.demand_misses() > 500 {
+                l2.push(coverage(
+                    base.cores[0].l2.demand_misses(),
+                    with.cores[0].l2.demand_misses(),
+                ));
+            }
+            if base.llc.demand_misses() > 500 {
+                llc.push(coverage(base.llc.demand_misses(), with.llc.demand_misses()));
+            }
+        }
+        t.row(vec![
+            s.label().to_string(),
+            format!("{:.1}%", 100.0 * mean(&l2)),
+            format!("{:.1}%", 100.0 * mean(&llc)),
+        ]);
+    }
+    println!("Figure 10 — fraction of demand misses covered (mean over apps)\n");
+    print!("{}", t.render());
+    println!("\n(paper: PPF covers 75.5% of L2 and 86.9% of LLC misses — the");
+    println!(" highest of all prefetchers; DA-AMPM next at 54.3% / 78.5%)");
+}

@@ -1,0 +1,61 @@
+//! Figure 11 — weighted speedups on 4-core memory-intensive SPEC CPU 2017
+//! mixes, sorted ascending per scheme, plus geometric means. Also reports
+//! the fully-random-mix geomeans the paper quotes in the text.
+
+use ppf_analysis::{geometric_mean, percent_gain, sorted_series, weighted_speedup};
+use ppf_bench::{isolated_ipc, run_mix, RunScale, Scheme};
+use ppf_trace::{MixGenerator, Suite, Workload, WorkloadMix};
+use std::collections::HashMap;
+
+fn run_batch(label: &str, mixes: &[WorkloadMix], scale: RunScale) {
+    // Isolated IPCs are shared across mixes; cache per workload name.
+    let mut isolated: HashMap<String, f64> = HashMap::new();
+    let cores = mixes[0].cores();
+    let mut per_scheme: Vec<(Scheme, Vec<f64>)> =
+        Scheme::prefetchers().into_iter().map(|s| (s, Vec::new())).collect();
+
+    for mix in mixes {
+        for w in &mix.workloads {
+            isolated
+                .entry(w.name().to_string())
+                .or_insert_with(|| isolated_ipc(w, cores, scale));
+        }
+        let iso: Vec<f64> = mix.workloads.iter().map(|w| isolated[w.name()]).collect();
+        let base = run_mix(mix, Scheme::Baseline, scale);
+        let base_ipc: Vec<f64> = base.cores.iter().map(|c| c.ipc()).collect();
+        for (s, acc) in &mut per_scheme {
+            let r = run_mix(mix, *s, scale);
+            let ipc: Vec<f64> = r.cores.iter().map(|c| c.ipc()).collect();
+            let ws = weighted_speedup(&ipc, &base_ipc, &iso);
+            eprintln!("  {} {} {}: {:.3}", label, mix.label(), s.label(), ws);
+            acc.push(ws);
+        }
+    }
+
+    println!("\n== {label} ==");
+    for (s, xs) in &per_scheme {
+        println!("{}", sorted_series(&format!("{} weighted speedup", s.label()), xs.clone(), 40));
+    }
+    let geo: Vec<(Scheme, f64)> =
+        per_scheme.iter().map(|(s, xs)| (*s, geometric_mean(xs))).collect();
+    for (s, g) in &geo {
+        println!("geomean {}: {:.3}", s.label(), g);
+    }
+    let ppf = geo.iter().find(|(s, _)| *s == Scheme::Ppf).expect("ppf ran").1;
+    let spp = geo.iter().find(|(s, _)| *s == Scheme::Spp).expect("spp ran").1;
+    println!("PPF over SPP: {:+.2}%", percent_gain(ppf, spp));
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let intensive = Workload::memory_intensive(Suite::Spec2017);
+    let mixes = MixGenerator::new(intensive, 1).draw(scale.mixes, 4);
+    println!("Figure 11 — 4-core weighted speedups, memory-intensive mixes");
+    println!("(paper: PPF +51.2% over baseline, +11.4% over SPP)");
+    run_batch("mem-intensive 4-core", &mixes, scale);
+
+    let all = Workload::spec2017();
+    let random_mixes = MixGenerator::new(all, 2).draw(scale.mixes / 2, 4);
+    println!("\nFully random mixes (paper text: PPF +26.07% over baseline, +5.6% over SPP)");
+    run_batch("random 4-core", &random_mixes, scale);
+}

@@ -1,0 +1,49 @@
+//! Figure 12 — weighted speedups on 8-core memory-intensive SPEC CPU 2017
+//! mixes (the paper runs a shorter region at 8 cores; so do we).
+
+use ppf_analysis::{geometric_mean, percent_gain, sorted_series, weighted_speedup};
+use ppf_bench::{isolated_ipc, run_mix, RunScale, Scheme};
+use ppf_trace::{MixGenerator, Suite, Workload};
+use std::collections::HashMap;
+
+fn main() {
+    let mut scale = RunScale::from_args();
+    // Paper Sec 5.3: 8-core runs use a 10x shorter region to stay tractable.
+    scale.measure /= 4;
+    scale.mixes = (scale.mixes / 2).max(3);
+    let intensive = Workload::memory_intensive(Suite::Spec2017);
+    let mixes = MixGenerator::new(intensive, 3).draw(scale.mixes, 8);
+
+    let mut isolated: HashMap<String, f64> = HashMap::new();
+    let mut per_scheme: Vec<(Scheme, Vec<f64>)> =
+        Scheme::prefetchers().into_iter().map(|s| (s, Vec::new())).collect();
+    for mix in &mixes {
+        for w in &mix.workloads {
+            isolated.entry(w.name().to_string()).or_insert_with(|| isolated_ipc(w, 8, scale));
+        }
+        let iso: Vec<f64> = mix.workloads.iter().map(|w| isolated[w.name()]).collect();
+        let base = run_mix(mix, Scheme::Baseline, scale);
+        let base_ipc: Vec<f64> = base.cores.iter().map(|c| c.ipc()).collect();
+        for (s, acc) in &mut per_scheme {
+            let r = run_mix(mix, *s, scale);
+            let ipc: Vec<f64> = r.cores.iter().map(|c| c.ipc()).collect();
+            let ws = weighted_speedup(&ipc, &base_ipc, &iso);
+            eprintln!("  {} {}: {:.3}", mix.label(), s.label(), ws);
+            acc.push(ws);
+        }
+    }
+
+    println!("Figure 12 — 8-core weighted speedups, memory-intensive mixes");
+    println!("(paper: PPF +37.6% over baseline, +9.65% over SPP)\n");
+    for (s, xs) in &per_scheme {
+        println!("{}", sorted_series(&format!("{} weighted speedup", s.label()), xs.clone(), 40));
+    }
+    let geo: Vec<(Scheme, f64)> =
+        per_scheme.iter().map(|(s, xs)| (*s, geometric_mean(xs))).collect();
+    for (s, g) in &geo {
+        println!("geomean {}: {:.3}", s.label(), g);
+    }
+    let ppf = geo.iter().find(|(s, _)| *s == Scheme::Ppf).expect("ppf").1;
+    let spp = geo.iter().find(|(s, _)| *s == Scheme::Spp).expect("spp").1;
+    println!("PPF over SPP: {:+.2}%", percent_gain(ppf, spp));
+}

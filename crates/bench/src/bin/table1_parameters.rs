@@ -1,0 +1,19 @@
+//! Table 1 — simulation parameters for the 1-, 4- and 8-core configurations
+//! and the DPC-2 constraint variants.
+
+use ppf_sim::SystemConfig;
+
+fn main() {
+    println!("Table 1 — simulation parameters\n");
+    for (name, cfg) in [
+        ("1-core (default)", SystemConfig::single_core()),
+        ("4-core", SystemConfig::multi_core(4)),
+        ("8-core", SystemConfig::multi_core(8)),
+        ("1-core, low bandwidth (DPC-2)", SystemConfig::low_bandwidth()),
+        ("1-core, small LLC (DPC-2)", SystemConfig::small_llc()),
+    ] {
+        println!("[{name}]");
+        print!("{}", cfg.table1());
+        println!();
+    }
+}

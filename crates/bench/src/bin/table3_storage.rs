@@ -1,0 +1,14 @@
+//! Table 3 — total storage overhead of SPP + PPF (39.34 KB).
+
+use ppf::default_budget;
+
+fn main() {
+    println!("Table 3 — SPP+PPF storage overhead\n");
+    let b = default_budget();
+    print!("{}", b.render());
+    println!("\n(paper: 322,240 bits = 39.34 KB; DPC-2 budget was 32 KB)");
+    println!(
+        "Perceptron sum: adder tree of depth {} for 9 features (paper: 4 steps).",
+        ppf::adder_tree_depth(9)
+    );
+}

@@ -1,0 +1,35 @@
+//! Quantitative character sheet of every workload model — the measured
+//! backing for DESIGN.md §4's substitution argument (footprint, access
+//! density, stride regularity, delta entropy, dependence, store mix).
+
+use ppf_analysis::TextTable;
+use ppf_trace::{Suite, TraceBuilder, TraceProfile, Workload};
+
+fn main() {
+    let records = if std::env::args().any(|a| a == "--quick") { 20_000 } else { 100_000 };
+    println!("Workload model profiles ({records} records each)\n");
+    let mut t = TextTable::new(vec![
+        "model", "APKI", "footprint", "pages", "stores", "dependent", "dom.delta", "H(delta)",
+    ]);
+    for suite in [Suite::Spec2017, Suite::Spec2006, Suite::CloudSuite] {
+        for w in Workload::suite_all(suite) {
+            let mut g = TraceBuilder::new(w.clone()).seed(42).build();
+            let p = TraceProfile::measure(&mut g, records);
+            t.row(vec![
+                format!("{}{}", w.name(), if w.is_memory_intensive() { " *" } else { "" }),
+                format!("{:.1}", p.apki),
+                format!("{:.1} MB", p.footprint_bytes() as f64 / 1e6),
+                p.distinct_pages.to_string(),
+                format!("{:.0}%", 100.0 * p.store_fraction),
+                format!("{:.0}%", 100.0 * p.dependent_fraction),
+                format!("{:.2}", p.dominant_delta_fraction),
+                format!("{:.2}b", p.delta_entropy_bits),
+            ]);
+            eprintln!("  {} done", w.name());
+        }
+    }
+    print!("{}", t.render());
+    println!("\n* = memory-intensive subset. dom.delta = share of the most common");
+    println!("within-page delta (1.0 = perfectly strided); H(delta) = Shannon");
+    println!("entropy of within-page deltas in bits.");
+}

@@ -1,0 +1,327 @@
+//! Experiment harness regenerating every table and figure of
+//! *Perceptron-Based Prefetch Filtering* (ISCA 2019).
+//!
+//! Each `fig*`/`table*`/`sec*` binary in `src/bin/` drives this library to
+//! reproduce one artifact of the paper; `cargo bench` runs the Criterion
+//! micro-benchmarks. See DESIGN.md §3 for the full experiment index and
+//! EXPERIMENTS.md for recorded paper-vs-measured results.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use ppf::{Ppf, PpfConfig};
+use ppf_prefetchers::{Bop, DaAmpm, Spp, SppConfig};
+use ppf_sim::{
+    AccessContext, EvictionInfo, FillLevel, NoPrefetcher, Prefetcher, PrefetchRequest,
+    SimReport, Simulation, SystemConfig,
+};
+use ppf_trace::{TraceBuilder, Workload, WorkloadMix};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The prefetching schemes the paper evaluates (Sec 5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// No prefetching (the normalization baseline).
+    Baseline,
+    /// Best-Offset Prefetcher.
+    Bop,
+    /// DRAM-aware AMPM.
+    DaAmpm,
+    /// Signature Path Prefetcher with its native throttling.
+    Spp,
+    /// PPF over an unthrottled SPP (the paper's contribution).
+    Ppf,
+}
+
+impl Scheme {
+    /// All schemes in the paper's presentation order.
+    pub fn all() -> [Scheme; 5] {
+        [Scheme::Baseline, Scheme::Bop, Scheme::DaAmpm, Scheme::Spp, Scheme::Ppf]
+    }
+
+    /// The four prefetchers (without the baseline).
+    pub fn prefetchers() -> [Scheme; 4] {
+        [Scheme::Bop, Scheme::DaAmpm, Scheme::Spp, Scheme::Ppf]
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "no-pf",
+            Scheme::Bop => "BOP",
+            Scheme::DaAmpm => "DA-AMPM",
+            Scheme::Spp => "SPP",
+            Scheme::Ppf => "PPF",
+        }
+    }
+
+    /// Builds the scheme's prefetcher instance.
+    pub fn build(self) -> Box<dyn Prefetcher> {
+        match self {
+            Scheme::Baseline => Box::new(NoPrefetcher),
+            Scheme::Bop => Box::new(Bop::default()),
+            Scheme::DaAmpm => Box::new(DaAmpm::default()),
+            Scheme::Spp => Box::new(Spp::default()),
+            Scheme::Ppf => Box::new(Ppf::new(Spp::default())),
+        }
+    }
+}
+
+/// Instruction budgets for an experiment, scaled from the paper's SimPoint
+/// methodology (200 M warmup / 1 B measured per core) by 1:1000 so the full
+/// suite runs in minutes. `quick` shrinks further for smoke tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunScale {
+    /// Warmup instructions per core.
+    pub warmup: u64,
+    /// Measured instructions per core.
+    pub measure: u64,
+    /// Multi-programmed mixes per multi-core experiment.
+    pub mixes: usize,
+}
+
+impl RunScale {
+    /// The default scale (1:1000 of the paper).
+    pub fn default_scale() -> Self {
+        Self { warmup: 200_000, measure: 1_000_000, mixes: 20 }
+    }
+
+    /// A fast scale for smoke runs (`--quick`).
+    pub fn quick() -> Self {
+        Self { warmup: 50_000, measure: 200_000, mixes: 6 }
+    }
+
+    /// Parses `--quick` from argv.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            Self::quick()
+        } else {
+            Self::default_scale()
+        }
+    }
+}
+
+/// Runs one workload on a single-core system under `scheme`.
+pub fn run_single(cfg: SystemConfig, workload: &Workload, scheme: Scheme, scale: RunScale) -> SimReport {
+    let trace = Box::new(TraceBuilder::new(workload.clone()).seed(42).build());
+    let mut sim = Simulation::new(cfg);
+    sim.add_core(workload.name(), trace, scheme.build());
+    sim.run(scale.warmup, scale.measure)
+}
+
+/// Runs a multi-programmed mix on an `n`-core system under `scheme`.
+pub fn run_mix(mix: &WorkloadMix, scheme: Scheme, scale: RunScale) -> SimReport {
+    let mut sim = Simulation::new(SystemConfig::multi_core(mix.cores()));
+    for (core, w) in mix.workloads.iter().enumerate() {
+        let trace = Box::new(TraceBuilder::new(w.clone()).seed(42 + core as u64).build());
+        sim.add_core(w.name(), trace, scheme.build());
+    }
+    // Multi-core runs use a shorter region per core (the paper reduces the
+    // 8-core runs for the same reason); contention still plays out fully.
+    sim.run(scale.warmup, scale.measure / 2)
+}
+
+/// IPC of `workload` running alone on a 1-core machine with the same LLC as
+/// the `cores`-core mix (the paper's `IPC_isolated`).
+pub fn isolated_ipc(workload: &Workload, cores: usize, scale: RunScale) -> f64 {
+    let mut cfg = SystemConfig::single_core();
+    cfg.llc.size_bytes = 2 * 1024 * 1024 * cores as u64;
+    cfg.llc.mshrs = 64 * cores;
+    run_single(cfg, workload, Scheme::Baseline, scale).ipc()
+}
+
+/// A prefetcher wrapper that keeps a shared handle to its inner prefetcher,
+/// so experiment code can inspect internal state (weights, event logs,
+/// depth statistics) after a simulation completes.
+#[derive(Debug)]
+pub struct Shared<P>(pub Rc<RefCell<P>>);
+
+impl<P> Shared<P> {
+    /// Wraps `inner`, returning the wrapper and a handle kept by the caller.
+    pub fn new(inner: P) -> (Self, Rc<RefCell<P>>) {
+        let rc = Rc::new(RefCell::new(inner));
+        (Self(rc.clone()), rc)
+    }
+}
+
+impl<P: Prefetcher> Prefetcher for Shared<P> {
+    fn on_demand_access(&mut self, ctx: &AccessContext, out: &mut Vec<PrefetchRequest>) {
+        self.0.borrow_mut().on_demand_access(ctx, out)
+    }
+
+    fn on_useful_prefetch(&mut self, addr: u64) {
+        self.0.borrow_mut().on_useful_prefetch(addr)
+    }
+
+    fn on_eviction(&mut self, info: &EvictionInfo) {
+        self.0.borrow_mut().on_eviction(info)
+    }
+
+    fn on_llc_eviction(&mut self, info: &EvictionInfo) {
+        self.0.borrow_mut().on_llc_eviction(info)
+    }
+
+    fn on_prefetch_fill(&mut self, addr: u64, level: FillLevel) {
+        self.0.borrow_mut().on_prefetch_fill(addr, level)
+    }
+
+    fn name(&self) -> &'static str {
+        "shared"
+    }
+}
+
+/// Runs `workload` under PPF with an event log enabled and returns the
+/// report plus a handle to the PPF instance for post-run analysis.
+pub fn run_ppf_instrumented(
+    workload: &Workload,
+    scale: RunScale,
+    event_log_capacity: usize,
+) -> (SimReport, Rc<RefCell<Ppf<Spp>>>) {
+    let cfg = PpfConfig { event_log_capacity, ..PpfConfig::default() };
+    let ppf = Ppf::with_config(Spp::new(SppConfig::default()), cfg);
+    let (wrapper, handle) = Shared::new(ppf);
+    let trace = Box::new(TraceBuilder::new(workload.clone()).seed(42).build());
+    let mut sim = Simulation::new(SystemConfig::single_core());
+    sim.add_core(workload.name(), trace, Box::new(wrapper));
+    let report = sim.run(scale.warmup, scale.measure);
+    (report, handle)
+}
+
+/// Runs `workload` under a shared-handle SPP (for depth statistics).
+pub fn run_spp_instrumented(
+    workload: &Workload,
+    scale: RunScale,
+) -> (SimReport, Rc<RefCell<Spp>>) {
+    let (wrapper, handle) = Shared::new(Spp::default());
+    let trace = Box::new(TraceBuilder::new(workload.clone()).seed(42).build());
+    let mut sim = Simulation::new(SystemConfig::single_core());
+    sim.add_core(workload.name(), trace, Box::new(wrapper));
+    let report = sim.run(scale.warmup, scale.measure);
+    (report, handle)
+}
+
+/// Results of running one workload under every scheme.
+#[derive(Debug)]
+pub struct SuiteRow {
+    /// Workload name.
+    pub app: String,
+    /// Whether the workload is in the memory-intensive subset.
+    pub mem_intensive: bool,
+    /// One report per scheme, in [`Scheme::all`] order.
+    pub reports: Vec<(Scheme, SimReport)>,
+}
+
+impl SuiteRow {
+    /// The report for a scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme was not run.
+    pub fn report(&self, scheme: Scheme) -> &SimReport {
+        &self.reports.iter().find(|(s, _)| *s == scheme).expect("scheme was run").1
+    }
+
+    /// IPC speedup of a scheme over the baseline.
+    pub fn speedup(&self, scheme: Scheme) -> f64 {
+        self.report(scheme).ipc() / self.report(Scheme::Baseline).ipc()
+    }
+}
+
+/// Runs every workload under every scheme on `make_cfg()`-configured
+/// single-core systems, reporting progress on stderr.
+pub fn run_suite<F: Fn() -> SystemConfig>(
+    workloads: &[Workload],
+    make_cfg: F,
+    scale: RunScale,
+) -> Vec<SuiteRow> {
+    workloads
+        .iter()
+        .map(|w| {
+            let reports = Scheme::all()
+                .into_iter()
+                .map(|s| {
+                    let t0 = std::time::Instant::now();
+                    let r = run_single(make_cfg(), w, s, scale);
+                    eprintln!(
+                        "  {} / {}: ipc {:.3} ({} ms)",
+                        w.name(),
+                        s.label(),
+                        r.ipc(),
+                        t0.elapsed().as_millis()
+                    );
+                    (s, r)
+                })
+                .collect();
+            SuiteRow {
+                app: w.name().to_string(),
+                mem_intensive: w.is_memory_intensive(),
+                reports,
+            }
+        })
+        .collect()
+}
+
+/// Coverage of a prefetching run versus a baseline run at one cache level:
+/// the fraction of baseline misses the prefetcher eliminated (paper Fig. 10).
+pub fn coverage(baseline_misses: u64, with_pf_misses: u64) -> f64 {
+    if baseline_misses == 0 {
+        return 0.0;
+    }
+    1.0 - (with_pf_misses.min(baseline_misses) as f64 / baseline_misses as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppf_trace::{MixGenerator, Suite};
+
+    fn tiny() -> RunScale {
+        RunScale { warmup: 5_000, measure: 30_000, mixes: 2 }
+    }
+
+    #[test]
+    fn schemes_build() {
+        for s in Scheme::all() {
+            let _ = s.build();
+            assert!(!s.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn single_run_produces_report() {
+        let w = Workload::by_name("638.imagick_s").unwrap();
+        let r = run_single(SystemConfig::single_core(), &w, Scheme::Spp, tiny());
+        assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn mix_run_produces_report() {
+        let pool = Workload::memory_intensive(Suite::Spec2017);
+        let mixes = MixGenerator::new(pool, 7).draw(1, 2);
+        let r = run_mix(&mixes[0], Scheme::Baseline, tiny());
+        assert_eq!(r.cores.len(), 2);
+    }
+
+    #[test]
+    fn instrumented_ppf_exposes_state() {
+        let w = Workload::by_name("603.bwaves_s").unwrap();
+        let (r, handle) = run_ppf_instrumented(&w, tiny(), 1024);
+        assert!(r.ipc() > 0.0);
+        let ppf = handle.borrow();
+        assert!(ppf.filter().stats.inferences > 0, "PPF saw no candidates");
+    }
+
+    #[test]
+    fn coverage_math() {
+        assert!((coverage(1000, 200) - 0.8).abs() < 1e-12);
+        assert_eq!(coverage(0, 5), 0.0);
+        // More misses than baseline clamps to zero coverage.
+        assert_eq!(coverage(100, 150), 0.0);
+    }
+
+    #[test]
+    fn quick_scale_smaller() {
+        assert!(RunScale::quick().measure < RunScale::default_scale().measure);
+    }
+}

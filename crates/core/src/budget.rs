@@ -1,0 +1,199 @@
+//! Hardware storage accounting (paper Sec 5.6, Tables 2 and 3).
+//!
+//! Reproduces the paper's bit budget: SPP's structures, the nine perceptron
+//! weight tables, the Prefetch and Reject tables, the GHR, the accuracy
+//! counters and the global PC trackers — 322,240 bits ≈ 39.34 KB total.
+
+
+use crate::filter::PpfConfig;
+use crate::tables::{prefetch_table_entry_bits, reject_table_entry_bits};
+use ppf_prefetchers::SppConfig;
+
+/// One row of the storage table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetRow {
+    /// Structure name.
+    pub structure: &'static str,
+    /// Number of entries.
+    pub entries: u64,
+    /// Bits per entry (amortized).
+    pub bits_per_entry: u64,
+    /// Total bits.
+    pub total_bits: u64,
+}
+
+/// The full storage budget of an SPP + PPF configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageBudget {
+    /// Per-structure rows.
+    pub rows: Vec<BudgetRow>,
+}
+
+impl StorageBudget {
+    /// Computes the budget for a given SPP and PPF configuration.
+    pub fn compute(spp: &SppConfig, ppf: &PpfConfig) -> Self {
+        let mut rows = Vec::new();
+
+        // Signature Table: valid(1) + tag(16) + last offset(6) + sig(12) +
+        // LRU(6) = 41 bits, padded to the paper's 43 (the paper rounds the
+        // entry to 11008/256 = 43 bits).
+        let st_bits = 43;
+        rows.push(BudgetRow {
+            structure: "Signature Table",
+            entries: spp.signature_table_entries as u64,
+            bits_per_entry: st_bits,
+            total_bits: spp.signature_table_entries as u64 * st_bits,
+        });
+
+        // Pattern Table: C_sig(4) + 4×C_delta(4) + 4×delta(7) = 48 bits.
+        let pt_bits = 4 + spp.deltas_per_entry as u64 * (4 + 7);
+        rows.push(BudgetRow {
+            structure: "Pattern Table",
+            entries: spp.pattern_table_entries as u64,
+            bits_per_entry: pt_bits,
+            total_bits: spp.pattern_table_entries as u64 * pt_bits,
+        });
+
+        // Perceptron weight tables: 5 bits per weight.
+        let weight_entries: u64 = ppf.features.iter().map(|f| f.table_entries() as u64).sum();
+        rows.push(BudgetRow {
+            structure: "Perceptron Weights",
+            entries: weight_entries,
+            bits_per_entry: 5,
+            total_bits: weight_entries * 5,
+        });
+
+        rows.push(BudgetRow {
+            structure: "Prefetch Table",
+            entries: ppf.prefetch_table_entries as u64,
+            bits_per_entry: prefetch_table_entry_bits(),
+            total_bits: ppf.prefetch_table_entries as u64 * prefetch_table_entry_bits(),
+        });
+        rows.push(BudgetRow {
+            structure: "Reject Table",
+            entries: ppf.reject_table_entries as u64,
+            bits_per_entry: reject_table_entry_bits(),
+            total_bits: ppf.reject_table_entries as u64 * reject_table_entry_bits(),
+        });
+
+        // GHR: signature(12) + confidence(8) + last offset(6) + delta(7).
+        let ghr_bits = 33;
+        rows.push(BudgetRow {
+            structure: "Global History Register",
+            entries: spp.ghr_entries as u64,
+            bits_per_entry: ghr_bits,
+            total_bits: spp.ghr_entries as u64 * ghr_bits,
+        });
+
+        // Accuracy counters: C_total and C_useful, 10 bits each.
+        rows.push(BudgetRow {
+            structure: "Accuracy Counters",
+            entries: 2,
+            bits_per_entry: 10,
+            total_bits: 20,
+        });
+
+        // Global PC trackers: 3 × 12 bits.
+        rows.push(BudgetRow {
+            structure: "Global PC Trackers",
+            entries: 3,
+            bits_per_entry: 12,
+            total_bits: 36,
+        });
+
+        Self { rows }
+    }
+
+    /// Total bits across all structures.
+    pub fn total_bits(&self) -> u64 {
+        self.rows.iter().map(|r| r.total_bits).sum()
+    }
+
+    /// Total kilobytes.
+    pub fn total_kb(&self) -> f64 {
+        self.total_bits() as f64 / 8.0 / 1024.0
+    }
+
+    /// Renders the budget as the paper's Table 3.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<26} {:>8} {:>14} {:>12}\n",
+            "Structure", "Entries", "Bits/entry", "Total bits"
+        ));
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{:<26} {:>8} {:>14} {:>12}\n",
+                r.structure, r.entries, r.bits_per_entry, r.total_bits
+            ));
+        }
+        s.push_str(&format!(
+            "Total: {} bits = {:.2} KB\n",
+            self.total_bits(),
+            self.total_kb()
+        ));
+        s
+    }
+}
+
+/// The adder-tree depth needed to sum one weight per feature
+/// (`ceil(log2(n))`, paper Sec 5.6: 4 steps for 9 features).
+pub fn adder_tree_depth(num_features: usize) -> u32 {
+    (num_features.max(1) as u32).next_power_of_two().trailing_zeros()
+}
+
+/// Convenience: the default design's budget.
+///
+/// ```
+/// let budget = ppf::default_budget();
+/// assert_eq!(budget.total_bits(), 322_240); // the paper's Table 3 total
+/// ```
+pub fn default_budget() -> StorageBudget {
+    StorageBudget::compute(&SppConfig::default(), &PpfConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureKind;
+
+    #[test]
+    fn matches_paper_table3_totals() {
+        let b = default_budget();
+        let row = |name: &str| b.rows.iter().find(|r| r.structure == name).unwrap().total_bits;
+        assert_eq!(row("Signature Table"), 11_008);
+        assert_eq!(row("Pattern Table"), 24_576);
+        assert_eq!(row("Perceptron Weights"), 113_280);
+        assert_eq!(row("Prefetch Table"), 87_040);
+        assert_eq!(row("Reject Table"), 86_016);
+        assert_eq!(row("Global History Register"), 264);
+        assert_eq!(row("Accuracy Counters"), 20);
+        assert_eq!(row("Global PC Trackers"), 36);
+        // The paper's bottom line.
+        assert_eq!(b.total_bits(), 322_240);
+        assert!((b.total_kb() - 39.34).abs() < 0.01);
+    }
+
+    #[test]
+    fn adder_tree_matches_paper() {
+        // ceil(log2 9) = 4 steps (paper Sec 5.6).
+        assert_eq!(adder_tree_depth(9), 4);
+        assert_eq!(adder_tree_depth(8), 3);
+        assert_eq!(adder_tree_depth(1), 0);
+    }
+
+    #[test]
+    fn render_contains_total() {
+        let s = default_budget().render();
+        assert!(s.contains("322240 bits"));
+        assert!(s.contains("39.34 KB"));
+    }
+
+    #[test]
+    fn scaling_features_scales_budget() {
+        let ppf =
+            PpfConfig { features: vec![FeatureKind::Confidence], ..PpfConfig::default() };
+        let b = StorageBudget::compute(&SppConfig::default(), &ppf);
+        assert!(b.total_bits() < default_budget().total_bits());
+    }
+}

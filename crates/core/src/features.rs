@@ -1,0 +1,274 @@
+//! PPF's perceptron features (paper Sec 4.2).
+//!
+//! Each feature hashes some combination of the triggering access's context
+//! and the candidate prefetch's metadata into an index for its own weight
+//! table. The nine features the paper retained (after the Sec 5.5 Pearson
+//! analysis) are [`FeatureKind::default_set`]; the rejected candidates the
+//! paper discusses (e.g. *Last Signature*, Fig. 6's weak example) are also
+//! implemented so the feature-selection methodology can be reproduced.
+//!
+//! Table sizes follow the paper's Table 3: the strongest features get full
+//! 12-bit indexing (4096 entries), the weaker PC hashes get 10–11 bits, and
+//! the raw confidence (0..=100) needs only 128 entries.
+
+/// Everything a feature may hash over: the trigger context plus one
+/// candidate's metadata (cf. paper Table 2's stored metadata).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FeatureInputs {
+    /// Byte address of the demand access that triggered the prefetch chain.
+    pub trigger_addr: u64,
+    /// PC of the triggering instruction.
+    pub trigger_pc: u64,
+    /// The most recent PC before the trigger.
+    pub pc_1: u64,
+    /// The second most recent PC before the trigger.
+    pub pc_2: u64,
+    /// The third most recent PC before the trigger.
+    pub pc_3: u64,
+    /// Signature under which the candidate's delta was predicted.
+    pub signature: u16,
+    /// Signature at the *previous* lookahead step (the paper's rejected
+    /// "Last Signature" feature).
+    pub last_signature: u16,
+    /// The underlying prefetcher's path confidence, 0..=100.
+    pub confidence: u8,
+    /// Predicted block delta.
+    pub delta: i16,
+    /// Lookahead depth of the candidate.
+    pub depth: u8,
+}
+
+/// 7-bit sign-magnitude delta encoding (shared with SPP's signature hash).
+fn encode_delta(delta: i16) -> u64 {
+    let mag = (delta.unsigned_abs() & 0x3F) as u64;
+    if delta < 0 {
+        mag | 0x40
+    } else {
+        mag
+    }
+}
+
+/// One perceptron feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureKind {
+    /// Low bits of the triggering physical address.
+    PhysAddr,
+    /// The trigger address shifted by the block size.
+    CacheLine,
+    /// The trigger address shifted by the page size.
+    PageAddr,
+    /// Page address XOR candidate confidence — the paper's single strongest
+    /// feature (Pearson ≈ 0.90).
+    ConfidenceXorPage,
+    /// `PC_1 ^ (PC_2 >> 1) ^ (PC_3 >> 2)`: the control-flow path hash.
+    PcPathHash,
+    /// Current signature XOR predicted delta (≈ the next signature).
+    SignatureXorDelta,
+    /// Trigger PC XOR lookahead depth (virtual-PC style disambiguation).
+    PcXorDepth,
+    /// Trigger PC XOR predicted delta.
+    PcXorDelta,
+    /// The raw path confidence.
+    Confidence,
+    /// REJECTED by the paper (Fig. 6): the previous step's signature alone.
+    LastSignature,
+    /// REJECTED: the trigger PC alone (aliases all lookahead depths).
+    RawPc,
+    /// REJECTED: the depth alone.
+    DepthAlone,
+}
+
+impl FeatureKind {
+    /// The nine features of the final PPF design, in Table 3 size order.
+    pub fn default_set() -> Vec<FeatureKind> {
+        vec![
+            FeatureKind::PhysAddr,
+            FeatureKind::CacheLine,
+            FeatureKind::PageAddr,
+            FeatureKind::ConfidenceXorPage,
+            FeatureKind::PcPathHash,
+            FeatureKind::SignatureXorDelta,
+            FeatureKind::PcXorDepth,
+            FeatureKind::PcXorDelta,
+            FeatureKind::Confidence,
+        ]
+    }
+
+    /// Index bits for this feature's weight table (paper Table 3 allocation:
+    /// high-correlation features get more entries, Sec 5.5).
+    pub fn table_bits(self) -> u32 {
+        match self {
+            FeatureKind::PhysAddr
+            | FeatureKind::CacheLine
+            | FeatureKind::PageAddr
+            | FeatureKind::ConfidenceXorPage => 12,
+            FeatureKind::PcPathHash | FeatureKind::SignatureXorDelta => 11,
+            FeatureKind::PcXorDepth | FeatureKind::PcXorDelta => 10,
+            FeatureKind::Confidence => 7,
+            FeatureKind::LastSignature => 12,
+            FeatureKind::RawPc => 10,
+            FeatureKind::DepthAlone => 4,
+        }
+    }
+
+    /// Entries in this feature's weight table.
+    pub fn table_entries(self) -> usize {
+        1 << self.table_bits()
+    }
+
+    /// Human-readable label (used in the analysis figures).
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureKind::PhysAddr => "phys_addr",
+            FeatureKind::CacheLine => "cache_line",
+            FeatureKind::PageAddr => "page_addr",
+            FeatureKind::ConfidenceXorPage => "confidence^page",
+            FeatureKind::PcPathHash => "pc1^pc2>>1^pc3>>2",
+            FeatureKind::SignatureXorDelta => "signature^delta",
+            FeatureKind::PcXorDepth => "pc^depth",
+            FeatureKind::PcXorDelta => "pc^delta",
+            FeatureKind::Confidence => "confidence",
+            FeatureKind::LastSignature => "last_signature",
+            FeatureKind::RawPc => "raw_pc",
+            FeatureKind::DepthAlone => "depth",
+        }
+    }
+
+    /// Hashes the inputs into this feature's table index.
+    pub fn index(self, f: &FeatureInputs) -> usize {
+        let mask = (1usize << self.table_bits()) - 1;
+        let raw: u64 = match self {
+            // Three shifted views of the trigger address (Sec 4.2: shifting
+            // instead of folding avoids destructive interference).
+            FeatureKind::PhysAddr => f.trigger_addr >> 2,
+            FeatureKind::CacheLine => f.trigger_addr >> 6,
+            FeatureKind::PageAddr => f.trigger_addr >> 12,
+            FeatureKind::ConfidenceXorPage => (f.trigger_addr >> 12) ^ u64::from(f.confidence),
+            FeatureKind::PcPathHash => (f.pc_1 >> 2) ^ (f.pc_2 >> 3) ^ (f.pc_3 >> 4),
+            FeatureKind::SignatureXorDelta => u64::from(f.signature) ^ encode_delta(f.delta),
+            FeatureKind::PcXorDepth => (f.trigger_pc >> 2) ^ u64::from(f.depth),
+            FeatureKind::PcXorDelta => (f.trigger_pc >> 2) ^ encode_delta(f.delta),
+            FeatureKind::Confidence => u64::from(f.confidence.min(127)),
+            FeatureKind::LastSignature => u64::from(f.last_signature),
+            FeatureKind::RawPc => f.trigger_pc >> 2,
+            FeatureKind::DepthAlone => u64::from(f.depth),
+        };
+        (raw as usize) & mask
+    }
+}
+
+/// Computes the table index of every feature in `set`.
+pub fn index_all(set: &[FeatureKind], inputs: &FeatureInputs) -> Vec<usize> {
+    set.iter().map(|k| k.index(inputs)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FeatureInputs {
+        FeatureInputs {
+            trigger_addr: 0x12345678,
+            trigger_pc: 0x401234,
+            pc_1: 0x401230,
+            pc_2: 0x40122C,
+            pc_3: 0x401228,
+            signature: 0x5A5,
+            last_signature: 0x2D2,
+            confidence: 87,
+            delta: -3,
+            depth: 4,
+        }
+    }
+
+    #[test]
+    fn default_set_is_the_papers_nine() {
+        let set = FeatureKind::default_set();
+        assert_eq!(set.len(), 9);
+        // Table 3: 4 tables of 4096, 2 of 2048, 2 of 1024, 1 of 128.
+        let mut sizes: Vec<usize> = set.iter().map(|k| k.table_entries()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![128, 1024, 1024, 2048, 2048, 4096, 4096, 4096, 4096]);
+    }
+
+    #[test]
+    fn indices_within_table() {
+        let f = sample();
+        for k in FeatureKind::default_set() {
+            assert!(k.index(&f) < k.table_entries(), "{} out of range", k.label());
+        }
+    }
+
+    #[test]
+    fn depth_disambiguates_pc() {
+        let mut a = sample();
+        let mut b = sample();
+        a.depth = 1;
+        b.depth = 2;
+        assert_ne!(FeatureKind::PcXorDepth.index(&a), FeatureKind::PcXorDepth.index(&b));
+        // ...while RawPc aliases them (the reason the paper rejected it).
+        assert_eq!(FeatureKind::RawPc.index(&a), FeatureKind::RawPc.index(&b));
+    }
+
+    #[test]
+    fn delta_sign_matters() {
+        let mut a = sample();
+        let mut b = sample();
+        a.delta = 3;
+        b.delta = -3;
+        assert_ne!(FeatureKind::PcXorDelta.index(&a), FeatureKind::PcXorDelta.index(&b));
+        assert_ne!(
+            FeatureKind::SignatureXorDelta.index(&a),
+            FeatureKind::SignatureXorDelta.index(&b)
+        );
+    }
+
+    #[test]
+    fn confidence_feature_is_direct() {
+        let mut f = sample();
+        f.confidence = 55;
+        assert_eq!(FeatureKind::Confidence.index(&f), 55);
+        f.confidence = 100;
+        assert_eq!(FeatureKind::Confidence.index(&f), 100);
+    }
+
+    #[test]
+    fn shifted_address_views_differ() {
+        let f = sample();
+        let a = FeatureKind::PhysAddr.index(&f);
+        let b = FeatureKind::CacheLine.index(&f);
+        let c = FeatureKind::PageAddr.index(&f);
+        assert!(a != b || b != c, "shifted views should rarely collide");
+    }
+
+    #[test]
+    fn path_hash_uses_history() {
+        let mut a = sample();
+        let mut b = sample();
+        b.pc_2 = 0x40F00C;
+        assert_ne!(FeatureKind::PcPathHash.index(&a), FeatureKind::PcPathHash.index(&b));
+        // Identical PCs don't collapse to zero thanks to the shifts.
+        a.pc_1 = 0x400004;
+        a.pc_2 = 0x400004;
+        a.pc_3 = 0x400004;
+        assert_ne!(FeatureKind::PcPathHash.index(&a), 0);
+    }
+
+    #[test]
+    fn index_all_matches_individual() {
+        let set = FeatureKind::default_set();
+        let f = sample();
+        let all = index_all(&set, &f);
+        for (k, &i) in set.iter().zip(&all) {
+            assert_eq!(k.index(&f), i);
+        }
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<&str> = FeatureKind::default_set().iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 9);
+    }
+}

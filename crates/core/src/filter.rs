@@ -1,0 +1,493 @@
+//! The perceptron filter proper: inference, recording, and training
+//! (paper Sec 3.1, Figure 5).
+
+use crate::features::{index_all, FeatureInputs, FeatureKind};
+use crate::perceptron::Perceptron;
+use crate::tables::MetaTable;
+use ppf_sim::addr::block_number;
+
+/// Inference outcome for one candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Sum ≥ τ_hi: high confidence, fill into the L2.
+    PrefetchL2,
+    /// τ_lo ≤ sum < τ_hi: moderate confidence, fill into the larger LLC.
+    PrefetchLlc,
+    /// Sum < τ_lo: predicted useless, do not prefetch.
+    Reject,
+}
+
+/// PPF configuration.
+///
+/// Threshold defaults follow the authors' released ChampSim implementation
+/// (the paper gives the mechanism but not the constants); see DESIGN.md §5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PpfConfig {
+    /// τ_hi: at or above, prefetch into L2.
+    pub tau_hi: i32,
+    /// τ_lo: at or above (but below τ_hi), prefetch into LLC; below, reject.
+    pub tau_lo: i32,
+    /// θ_p: positive-side training saturation — correct positives train only
+    /// while the sum is below this.
+    pub theta_p: i32,
+    /// θ_n: negative-side training saturation — correct negatives train only
+    /// while the sum is above this.
+    pub theta_n: i32,
+    /// Prefetch Table entries.
+    pub prefetch_table_entries: usize,
+    /// Reject Table entries.
+    pub reject_table_entries: usize,
+    /// Two-stage replacement training: a Prefetch-Table entry displaced
+    /// before being used moves to the Reject Table (probation) instead of
+    /// vanishing; negative training fires only when it falls off *both*
+    /// tables unused, and a demand meanwhile recovers it positively. The
+    /// paper trains on cache evictions only; at this crate's trace densities
+    /// the 1,024-entry table turns over several times faster than the L2, so
+    /// eviction feedback alone starves the negative side (see DESIGN.md §5).
+    pub train_on_replacement: bool,
+    /// The feature set (defaults to the paper's nine).
+    pub features: Vec<FeatureKind>,
+    /// Keep the most recent training events for offline analysis (0 = off).
+    pub event_log_capacity: usize,
+}
+
+impl Default for PpfConfig {
+    fn default() -> Self {
+        Self {
+            tau_hi: -5,
+            tau_lo: -15,
+            theta_p: 90,
+            theta_n: -80,
+            prefetch_table_entries: 1024,
+            reject_table_entries: 1024,
+            train_on_replacement: true,
+            features: FeatureKind::default_set(),
+            event_log_capacity: 0,
+        }
+    }
+}
+
+/// Filter counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Candidates evaluated.
+    pub inferences: u64,
+    /// Accepted toward the L2.
+    pub accepted_l2: u64,
+    /// Accepted toward the LLC.
+    pub accepted_llc: u64,
+    /// Rejected.
+    pub rejected: u64,
+    /// Upward training events (useful prefetches / recovered rejects).
+    pub positive_trains: u64,
+    /// Downward training events (useless prefetches evicted).
+    pub negative_trains: u64,
+    /// Demand hits on rejected candidates (false negatives recovered).
+    pub false_negative_recoveries: u64,
+    /// Negative trainings triggered by table replacement (a prefetch entry
+    /// displaced before any demand used it).
+    pub replacement_trains: u64,
+}
+
+/// One logged training event: the weights read at inference time for each
+/// feature, and whether the prefetch turned out useful. Feeds the paper's
+/// Sec 5.5 Pearson methodology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainingEvent {
+    /// Weight per feature at the moment of training.
+    pub weights: Vec<i8>,
+    /// Ground truth: the candidate was useful.
+    pub useful: bool,
+}
+
+/// The Perceptron Prefetch Filter.
+///
+/// ```
+/// use ppf::{Decision, FeatureInputs, PpfConfig, PpfFilter};
+///
+/// let mut filter = PpfFilter::new(PpfConfig::default());
+/// let inputs = FeatureInputs { trigger_addr: 0x1000, confidence: 80, delta: 1, depth: 1, ..Default::default() };
+///
+/// // 1. Inference: a cold filter lets the candidate through to the L2.
+/// let (decision, sum) = filter.infer(&inputs);
+/// assert_eq!(decision, Decision::PrefetchL2);
+///
+/// // 2. Record it; 3-4. train when feedback arrives.
+/// filter.record(0x1040, inputs, sum, decision);
+/// filter.train_on_demand(0x1040); // the prefetch proved useful
+/// assert_eq!(filter.stats.positive_trains, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PpfFilter {
+    cfg: PpfConfig,
+    perceptron: Perceptron,
+    prefetch_table: MetaTable,
+    reject_table: MetaTable,
+    /// Counter block.
+    pub stats: FilterStats,
+    event_log: Vec<TrainingEvent>,
+    event_cursor: usize,
+}
+
+impl PpfFilter {
+    /// Builds a filter from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature set is empty, thresholds are inconsistent
+    /// (`tau_lo > tau_hi`), or table sizes are not powers of two.
+    pub fn new(cfg: PpfConfig) -> Self {
+        assert!(!cfg.features.is_empty(), "need at least one feature");
+        assert!(cfg.tau_lo <= cfg.tau_hi, "tau_lo must not exceed tau_hi");
+        let sizes: Vec<usize> = cfg.features.iter().map(|k| k.table_entries()).collect();
+        Self {
+            perceptron: Perceptron::new(&sizes),
+            prefetch_table: MetaTable::new(cfg.prefetch_table_entries),
+            reject_table: MetaTable::new(cfg.reject_table_entries),
+            stats: FilterStats::default(),
+            event_log: Vec::new(),
+            event_cursor: 0,
+            cfg,
+        }
+    }
+
+    /// Borrow of the configuration.
+    pub fn config(&self) -> &PpfConfig {
+        &self.cfg
+    }
+
+    /// Borrow of the weight bank (Fig. 6/7 analysis).
+    pub fn perceptron(&self) -> &Perceptron {
+        &self.perceptron
+    }
+
+    /// The feature set in table order.
+    pub fn features(&self) -> &[FeatureKind] {
+        &self.cfg.features
+    }
+
+    /// Logged training events, oldest first (empty unless
+    /// [`PpfConfig::event_log_capacity`] was set).
+    pub fn training_events(&self) -> &[TrainingEvent] {
+        &self.event_log
+    }
+
+    /// Snapshots the trained weights (see [`Perceptron::save_weights`]).
+    pub fn save_weights(&self) -> Vec<u8> {
+        self.perceptron.save_weights()
+    }
+
+    /// Restores weights from a snapshot taken with the same feature set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Perceptron::load_weights`] errors.
+    pub fn load_weights(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.perceptron.load_weights(bytes)
+    }
+
+    /// The lookahead depth recorded for a tracked (accepted) prefetch of
+    /// this address, if any.
+    pub fn tracked_depth(&self, addr: u64) -> Option<u8> {
+        self.prefetch_table.lookup(block_number(addr)).map(|e| e.inputs.depth)
+    }
+
+    /// Step 1, inference: sums the feature-selected weights and thresholds
+    /// the result against τ_hi / τ_lo.
+    pub fn infer(&mut self, inputs: &FeatureInputs) -> (Decision, i32) {
+        self.stats.inferences += 1;
+        let idxs = index_all(&self.cfg.features, inputs);
+        let sum = self.perceptron.sum(&idxs);
+        let decision = if sum >= self.cfg.tau_hi {
+            self.stats.accepted_l2 += 1;
+            Decision::PrefetchL2
+        } else if sum >= self.cfg.tau_lo {
+            self.stats.accepted_llc += 1;
+            Decision::PrefetchLlc
+        } else {
+            self.stats.rejected += 1;
+            Decision::Reject
+        };
+        (decision, sum)
+    }
+
+    /// Step 2, recording: stores the candidate's metadata in the Prefetch
+    /// Table (accepted) or the Reject Table (rejected).
+    pub fn record(&mut self, target_addr: u64, inputs: FeatureInputs, sum: i32, d: Decision) {
+        let block = block_number(target_addr);
+        match d {
+            Decision::PrefetchL2 | Decision::PrefetchLlc => {
+                let displaced = self.prefetch_table.record(block, inputs, sum, true);
+                if self.cfg.train_on_replacement {
+                    if let Some(old) = displaced {
+                        if !old.useful {
+                            // Probation: park the displaced entry in the
+                            // Reject Table. A demand recovers it positively;
+                            // falling off that table too is the negative
+                            // signal.
+                            self.park_displaced(old);
+                        }
+                    }
+                }
+            }
+            Decision::Reject => {
+                let displaced = self.reject_table.record(block, inputs, sum, false);
+                if self.cfg.train_on_replacement {
+                    if let Some(old) = displaced {
+                        self.negative_train_displaced(&old);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Steps 3–4 on a demand access: a hit in the Prefetch Table is a
+    /// correct positive (train up while under θ_p); a hit in the Reject
+    /// Table is a recovered false negative (always train up).
+    pub fn train_on_demand(&mut self, addr: u64) {
+        let block = block_number(addr);
+        let theta_p = self.cfg.theta_p;
+
+        let mut positive: Option<(FeatureInputs, bool)> = None;
+        if let Some(e) = self.prefetch_table.lookup_mut(block) {
+            if !e.useful {
+                e.useful = true;
+                positive = Some((e.inputs, false));
+            }
+        } else if let Some(e) = self.reject_table.take(block) {
+            positive = Some((e.inputs, true));
+        }
+
+        if let Some((inputs, was_rejected)) = positive {
+            let idxs = index_all(&self.cfg.features, &inputs);
+            let sum = self.perceptron.sum(&idxs);
+            self.log_event(&idxs, true);
+            if was_rejected {
+                self.stats.false_negative_recoveries += 1;
+                self.stats.positive_trains += 1;
+                self.perceptron.train(&idxs, true);
+            } else if sum < theta_p {
+                self.stats.positive_trains += 1;
+                self.perceptron.train(&idxs, true);
+            }
+        }
+    }
+
+    /// Steps 3–4 on an L2 eviction: a prefetched line leaving the cache
+    /// unused means the filter should have rejected it (train down; always,
+    /// since it is a misprediction — but saturate at θ_n if it was judged
+    /// correctly negative before).
+    pub fn train_on_eviction(&mut self, addr: u64, was_used: bool) {
+        let block = block_number(addr);
+        let Some(e) = self.prefetch_table.take(block) else { return };
+        if was_used || e.useful {
+            // Correct positive already credited at demand time.
+            return;
+        }
+        let idxs = index_all(&self.cfg.features, &e.inputs);
+        let sum = self.perceptron.sum(&idxs);
+        self.log_event(&idxs, false);
+        if sum > self.cfg.theta_n {
+            self.stats.negative_trains += 1;
+            self.perceptron.train(&idxs, false);
+        }
+    }
+
+    /// Moves a displaced, unused Prefetch-Table entry into the Reject Table
+    /// (probation). Whatever *that* displaces unused trains negative.
+    fn park_displaced(&mut self, old: crate::tables::TableEntry) {
+        let displaced =
+            self.reject_table.record(old.target_block, old.inputs, old.sum, old.perc_decision);
+        if let Some(evicted) = displaced {
+            self.negative_train_displaced(&evicted);
+        }
+    }
+
+    /// Negative training for an entry that aged out of both tables unused.
+    fn negative_train_displaced(&mut self, old: &crate::tables::TableEntry) {
+        // Only candidates the filter *accepted* are evidence of a wrong
+        // positive; aged-out rejected candidates already got their verdict.
+        if !old.perc_decision {
+            return;
+        }
+        let idxs = index_all(&self.cfg.features, &old.inputs);
+        let s = self.perceptron.sum(&idxs);
+        self.log_event(&idxs, false);
+        if s > self.cfg.theta_n {
+            self.stats.negative_trains += 1;
+            self.stats.replacement_trains += 1;
+            self.perceptron.train(&idxs, false);
+        }
+    }
+
+    fn log_event(&mut self, idxs: &[usize], useful: bool) {
+        if self.cfg.event_log_capacity == 0 {
+            return;
+        }
+        let ev = TrainingEvent { weights: self.perceptron.weights_at(idxs), useful };
+        if self.event_log.len() < self.cfg.event_log_capacity {
+            self.event_log.push(ev);
+        } else {
+            self.event_log[self.event_cursor] = ev;
+            self.event_cursor = (self.event_cursor + 1) % self.cfg.event_log_capacity;
+        }
+    }
+}
+
+impl Default for PpfFilter {
+    fn default() -> Self {
+        Self::new(PpfConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(addr: u64, conf: u8) -> FeatureInputs {
+        FeatureInputs {
+            trigger_addr: addr,
+            trigger_pc: 0x400100,
+            confidence: conf,
+            delta: 1,
+            depth: 1,
+            ..FeatureInputs::default()
+        }
+    }
+
+    #[test]
+    fn cold_filter_accepts_into_l2() {
+        // Zero weights sum to 0 ≥ τ_hi (-5): a cold PPF lets SPP through —
+        // essential for bootstrap.
+        let mut f = PpfFilter::default();
+        let (d, sum) = f.infer(&inputs(0x1000, 80));
+        assert_eq!(sum, 0);
+        assert_eq!(d, Decision::PrefetchL2);
+    }
+
+    #[test]
+    fn negative_training_flips_to_reject() {
+        let mut f = PpfFilter::default();
+        let i = inputs(0x2000, 10);
+        // Repeatedly: record an accepted prefetch, then evict it unused.
+        for _ in 0..20 {
+            let (d, sum) = f.infer(&i);
+            f.record(0x2000, i, sum, d);
+            f.train_on_eviction(0x2000, false);
+        }
+        let (d, sum) = f.infer(&i);
+        assert!(sum < -15, "sum {sum} should be deeply negative");
+        assert_eq!(d, Decision::Reject);
+        assert!(f.stats.negative_trains > 0);
+    }
+
+    #[test]
+    fn reject_table_recovers_false_negatives() {
+        let mut f = PpfFilter::default();
+        let i = inputs(0x3000, 10);
+        // Drive the filter negative.
+        for _ in 0..20 {
+            let (d, sum) = f.infer(&i);
+            f.record(0x3000, i, sum, d);
+            f.train_on_eviction(0x3000, false);
+        }
+        assert_eq!(f.infer(&i).0, Decision::Reject);
+        // Now the workload changes: the rejected candidate is demanded.
+        for _ in 0..40 {
+            let (d, sum) = f.infer(&i);
+            f.record(0x3000, i, sum, d);
+            f.train_on_demand(0x3000);
+        }
+        assert!(f.stats.false_negative_recoveries > 0);
+        let (d, _) = f.infer(&i);
+        assert_ne!(d, Decision::Reject, "reject-table training must recover");
+    }
+
+    #[test]
+    fn positive_training_saturates_at_theta_p() {
+        let mut f = PpfFilter::default();
+        let i = inputs(0x4000, 90);
+        for _ in 0..200 {
+            let (d, sum) = f.infer(&i);
+            f.record(0x4000, i, sum, d);
+            f.train_on_demand(0x4000);
+        }
+        let (_, sum) = f.infer(&i);
+        // Trained only while sum < θ_p: one step past at most.
+        assert!(sum <= f.config().theta_p + 9, "sum {sum} exceeded θ_p ceiling");
+        assert!(sum > 0);
+    }
+
+    #[test]
+    fn useful_entries_train_once() {
+        let mut f = PpfFilter::default();
+        let i = inputs(0x5000, 50);
+        let (d, sum) = f.infer(&i);
+        f.record(0x5000, i, sum, d);
+        f.train_on_demand(0x5000);
+        let trains = f.stats.positive_trains;
+        // Second demand to the same block: entry already marked useful.
+        f.train_on_demand(0x5000);
+        assert_eq!(f.stats.positive_trains, trains);
+    }
+
+    #[test]
+    fn eviction_of_used_prefetch_does_not_train_down() {
+        let mut f = PpfFilter::default();
+        let i = inputs(0x6000, 50);
+        let (d, sum) = f.infer(&i);
+        f.record(0x6000, i, sum, d);
+        f.train_on_demand(0x6000); // used
+        f.train_on_eviction(0x6000, true);
+        assert_eq!(f.stats.negative_trains, 0);
+    }
+
+    #[test]
+    fn fill_level_band() {
+        let cfg = PpfConfig { tau_hi: 5, tau_lo: -5, ..PpfConfig::default() };
+        let mut f = PpfFilter::new(cfg);
+        // Cold sum = 0 lands between the thresholds -> LLC.
+        let (d, _) = f.infer(&inputs(0x7000, 50));
+        assert_eq!(d, Decision::PrefetchLlc);
+    }
+
+    #[test]
+    fn event_log_is_bounded_ring() {
+        // Shared feature indices drive the sum negative quickly, so only the
+        // first few candidates are accepted (and can later log an eviction
+        // event) before the filter starts rejecting — capacity 2 is enough
+        // to exercise the ring replacement.
+        let cfg = PpfConfig { event_log_capacity: 2, ..PpfConfig::default() };
+        let mut f = PpfFilter::new(cfg);
+        let mut logged = 0;
+        for n in 0..10u64 {
+            let a = 0x8000 + n * 64;
+            let i = inputs(a, 30);
+            let (d, sum) = f.infer(&i);
+            f.record(a, i, sum, d);
+            if d != Decision::Reject {
+                logged += 1;
+            }
+            f.train_on_eviction(a, false);
+        }
+        assert!(logged >= 3, "need enough events to wrap the ring, got {logged}");
+        assert_eq!(f.training_events().len(), 2);
+        assert!(f.training_events().iter().all(|e| !e.useful));
+        assert_eq!(f.training_events()[0].weights.len(), 9);
+    }
+
+    #[test]
+    fn stats_track_decisions() {
+        let mut f = PpfFilter::default();
+        f.infer(&inputs(0x9000, 10));
+        assert_eq!(f.stats.inferences, 1);
+        assert_eq!(f.stats.accepted_l2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau_lo must not exceed tau_hi")]
+    fn inconsistent_thresholds_rejected() {
+        let cfg = PpfConfig { tau_lo: 10, tau_hi: -10, ..PpfConfig::default() };
+        PpfFilter::new(cfg);
+    }
+}

@@ -1,0 +1,256 @@
+//! The hashed-perceptron weight store.
+//!
+//! A hashed perceptron (Tarjan & Skadron) keeps one small table of signed
+//! weights per feature. Inference reads one weight per table (indexed by the
+//! feature's hash) and sums them; training increments or decrements exactly
+//! those weights. Weights are 5-bit saturating counters in `[-16, +15]` —
+//! the paper found 5 bits the best accuracy/area trade-off (Sec 3.1).
+
+/// Minimum weight value (5-bit signed).
+pub const WEIGHT_MIN: i8 = -16;
+/// Maximum weight value (5-bit signed).
+pub const WEIGHT_MAX: i8 = 15;
+
+/// One feature's table of 5-bit weights.
+#[derive(Debug, Clone)]
+pub struct WeightTable {
+    weights: Vec<i8>,
+}
+
+impl WeightTable {
+    /// Creates a zeroed table with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        Self { weights: vec![0; entries] }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Reads the weight at `index` (masked into range).
+    pub fn get(&self, index: usize) -> i8 {
+        self.weights[index & (self.weights.len() - 1)]
+    }
+
+    /// Saturating increment/decrement of the weight at `index`.
+    pub fn bump(&mut self, index: usize, up: bool) {
+        let i = index & (self.weights.len() - 1);
+        let w = self.weights[i];
+        self.weights[i] = if up { (w + 1).min(WEIGHT_MAX) } else { (w - 1).max(WEIGHT_MIN) };
+    }
+
+    /// All weights (for the paper's Figure 6 histograms).
+    pub fn weights(&self) -> &[i8] {
+        &self.weights
+    }
+}
+
+/// A bank of weight tables, one per feature.
+#[derive(Debug, Clone)]
+pub struct Perceptron {
+    tables: Vec<WeightTable>,
+}
+
+impl Perceptron {
+    /// Creates one zeroed table per entry of `sizes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` is empty or any size is not a power of two.
+    pub fn new(sizes: &[usize]) -> Self {
+        assert!(!sizes.is_empty(), "need at least one feature table");
+        Self { tables: sizes.iter().map(|&s| WeightTable::new(s)).collect() }
+    }
+
+    /// Number of feature tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Inference: sum of one weight per table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices.len()` differs from the number of tables.
+    pub fn sum(&self, indices: &[usize]) -> i32 {
+        assert_eq!(indices.len(), self.tables.len(), "one index per feature table");
+        self.tables.iter().zip(indices).map(|(t, &i)| i32::from(t.get(i))).sum()
+    }
+
+    /// Reads the individual weights selected by `indices` (for analysis).
+    pub fn weights_at(&self, indices: &[usize]) -> Vec<i8> {
+        assert_eq!(indices.len(), self.tables.len(), "one index per feature table");
+        self.tables.iter().zip(indices).map(|(t, &i)| t.get(i)).collect()
+    }
+
+    /// Training: bump every selected weight up (`true`) or down (`false`).
+    pub fn train(&mut self, indices: &[usize], up: bool) {
+        assert_eq!(indices.len(), self.tables.len(), "one index per feature table");
+        for (t, &i) in self.tables.iter_mut().zip(indices) {
+            t.bump(i, up);
+        }
+    }
+
+    /// Borrow of one feature's table.
+    pub fn table(&self, feature: usize) -> &WeightTable {
+        &self.tables[feature]
+    }
+
+    /// Total storage in bits (5 bits per weight).
+    pub fn storage_bits(&self) -> u64 {
+        self.tables.iter().map(|t| t.len() as u64 * 5).sum()
+    }
+
+    /// Serializes all weights into a flat byte vector (one `i8` per weight,
+    /// tables concatenated in order). Pair with [`Perceptron::load_weights`]
+    /// to warm-start a filter from a previous run.
+    pub fn save_weights(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.tables.iter().map(WeightTable::len).sum());
+        for t in &self.tables {
+            out.extend(t.weights().iter().map(|&w| w as u8));
+        }
+        out
+    }
+
+    /// Restores weights produced by [`Perceptron::save_weights`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the expected length if `bytes` has the wrong size, or the
+    /// offending value if any byte is outside the 5-bit weight range.
+    pub fn load_weights(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let expected: usize = self.tables.iter().map(WeightTable::len).sum();
+        if bytes.len() != expected {
+            return Err(format!("expected {expected} weights, got {}", bytes.len()));
+        }
+        for &b in bytes {
+            let w = b as i8;
+            if !(WEIGHT_MIN..=WEIGHT_MAX).contains(&w) {
+                return Err(format!("weight {w} outside the 5-bit range"));
+            }
+        }
+        let mut cursor = 0;
+        for t in &mut self.tables {
+            for i in 0..t.len() {
+                t.weights[i] = bytes[cursor] as i8;
+                cursor += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The theoretical output range `[min, max]` of [`Perceptron::sum`].
+    pub fn sum_range(&self) -> (i32, i32) {
+        let n = self.tables.len() as i32;
+        (n * i32::from(WEIGHT_MIN), n * i32::from(WEIGHT_MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialised() {
+        let p = Perceptron::new(&[64, 128]);
+        assert_eq!(p.sum(&[3, 100]), 0);
+    }
+
+    #[test]
+    fn train_moves_sum() {
+        let mut p = Perceptron::new(&[64, 64]);
+        p.train(&[1, 2], true);
+        assert_eq!(p.sum(&[1, 2]), 2);
+        p.train(&[1, 2], false);
+        p.train(&[1, 2], false);
+        assert_eq!(p.sum(&[1, 2]), -2);
+    }
+
+    #[test]
+    fn weights_saturate() {
+        let mut t = WeightTable::new(8);
+        for _ in 0..100 {
+            t.bump(3, true);
+        }
+        assert_eq!(t.get(3), WEIGHT_MAX);
+        for _ in 0..100 {
+            t.bump(3, false);
+        }
+        assert_eq!(t.get(3), WEIGHT_MIN);
+    }
+
+    #[test]
+    fn indices_are_masked() {
+        let t = WeightTable::new(16);
+        assert_eq!(t.get(16), t.get(0));
+        assert_eq!(t.get(31), t.get(15));
+    }
+
+    #[test]
+    fn tables_are_independent() {
+        let mut p = Perceptron::new(&[64, 64]);
+        p.train(&[5, 9], true);
+        assert_eq!(p.table(0).get(9), 0);
+        assert_eq!(p.table(1).get(5), 0);
+        assert_eq!(p.table(0).get(5), 1);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        // The paper's Table 3 perceptron block:
+        // 4×4096 + 2×2048 + 2×1024 + 1×128 weights at 5 bits = 113,280 bits.
+        let p = Perceptron::new(&[4096, 4096, 4096, 4096, 2048, 2048, 1024, 1024, 128]);
+        assert_eq!(p.storage_bits(), 113_280);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut p = Perceptron::new(&[64, 128]);
+        p.train(&[3, 70], true);
+        p.train(&[3, 70], true);
+        p.train(&[9, 9], false);
+        let saved = p.save_weights();
+        let mut q = Perceptron::new(&[64, 128]);
+        q.load_weights(&saved).expect("roundtrip");
+        assert_eq!(q.sum(&[3, 70]), p.sum(&[3, 70]));
+        assert_eq!(q.sum(&[9, 9]), p.sum(&[9, 9]));
+    }
+
+    #[test]
+    fn load_rejects_bad_shapes_and_values() {
+        let mut p = Perceptron::new(&[64]);
+        assert!(p.load_weights(&[0u8; 63]).is_err(), "wrong length");
+        let mut bad = vec![0u8; 64];
+        bad[0] = 100; // 100 as i8 = 100, outside [-16, 15]
+        assert!(p.load_weights(&bad).is_err(), "out-of-range weight");
+    }
+
+    #[test]
+    fn sum_range_matches_weights() {
+        let p = Perceptron::new(&[64; 9]);
+        assert_eq!(p.sum_range(), (-144, 135));
+    }
+
+    #[test]
+    #[should_panic(expected = "one index per feature table")]
+    fn wrong_arity_panics() {
+        Perceptron::new(&[64, 64]).sum(&[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_rejected() {
+        WeightTable::new(100);
+    }
+}

@@ -1,0 +1,184 @@
+//! Reference baselines: next-N-line and a PC-indexed stride prefetcher.
+//!
+//! Not evaluated in the paper's figures, but standard controls for the test
+//! suite and the examples (and historically the starting point of the field,
+//! paper Sec 2).
+
+use ppf_sim::addr::{block_number, page_number, BLOCK_SIZE};
+use ppf_sim::{AccessContext, FillLevel, Prefetcher, PrefetchRequest};
+
+/// Prefetches the next `degree` sequential lines after every demand access.
+#[derive(Debug, Clone)]
+pub struct NextLine {
+    degree: usize,
+}
+
+impl NextLine {
+    /// Creates a next-line prefetcher fetching `degree` lines ahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree == 0`.
+    pub fn new(degree: usize) -> Self {
+        assert!(degree > 0, "degree must be positive");
+        Self { degree }
+    }
+}
+
+impl Default for NextLine {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Prefetcher for NextLine {
+    fn on_demand_access(&mut self, ctx: &AccessContext, out: &mut Vec<PrefetchRequest>) {
+        for d in 1..=self.degree as u64 {
+            let target = ctx.addr + d * BLOCK_SIZE;
+            if page_number(target) == page_number(ctx.addr) {
+                out.push(PrefetchRequest::new(target, FillLevel::L2));
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "next-line"
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StrideEntry {
+    valid: bool,
+    tag: u64,
+    last_block: u64,
+    stride: i64,
+    confidence: u8,
+}
+
+/// Classic Baer–Chen reference-prediction-table stride prefetcher: per-PC
+/// last address + stride with a 2-bit confidence.
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    table: Vec<StrideEntry>,
+    degree: usize,
+}
+
+impl StridePrefetcher {
+    /// Creates a stride prefetcher with `entries` PC slots and `degree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `degree == 0`.
+    pub fn new(entries: usize, degree: usize) -> Self {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        assert!(degree > 0, "degree must be positive");
+        Self { table: vec![StrideEntry::default(); entries], degree }
+    }
+}
+
+impl Default for StridePrefetcher {
+    fn default() -> Self {
+        Self::new(256, 2)
+    }
+}
+
+impl Prefetcher for StridePrefetcher {
+    fn on_demand_access(&mut self, ctx: &AccessContext, out: &mut Vec<PrefetchRequest>) {
+        let idx = (ctx.pc as usize >> 2) & (self.table.len() - 1);
+        let block = block_number(ctx.addr);
+        let e = &mut self.table[idx];
+        if !e.valid || e.tag != ctx.pc {
+            *e = StrideEntry { valid: true, tag: ctx.pc, last_block: block, stride: 0, confidence: 0 };
+            return;
+        }
+        let stride = block as i64 - e.last_block as i64;
+        if stride != 0 {
+            if stride == e.stride {
+                e.confidence = (e.confidence + 1).min(3);
+            } else {
+                e.confidence = e.confidence.saturating_sub(1);
+                if e.confidence == 0 {
+                    e.stride = stride;
+                }
+            }
+            e.last_block = block;
+            if e.confidence >= 2 && e.stride != 0 {
+                for d in 1..=self.degree as i64 {
+                    let target = block as i64 + e.stride * d;
+                    if target > 0 {
+                        let addr = (target as u64) * BLOCK_SIZE;
+                        if page_number(addr) == page_number(ctx.addr) {
+                            out.push(PrefetchRequest::new(addr, FillLevel::L2));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "stride"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(pc: u64, addr: u64) -> AccessContext {
+        AccessContext { pc, addr, is_store: false, l2_hit: false, cycle: 0, core: 0 }
+    }
+
+    #[test]
+    fn next_line_emits_within_page() {
+        let mut p = NextLine::new(4);
+        let mut out = Vec::new();
+        p.on_demand_access(&ctx(0, 0x1000 + 62 * 64), &mut out);
+        // Only one target (offset 63) stays within the page.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].addr, 0x1000 + 63 * 64);
+    }
+
+    #[test]
+    fn stride_learns_constant_pc_stride() {
+        let mut p = StridePrefetcher::default();
+        let mut out = Vec::new();
+        for i in 0..8u64 {
+            out.clear();
+            p.on_demand_access(&ctx(0x400, 0x40_0000 + i * 3 * 64), &mut out);
+        }
+        // Last access was block 21 (i = 7, stride 3); degree-2 prefetch
+        // targets blocks 24 and 27.
+        let targets: Vec<u64> = out.iter().map(|r| r.addr).collect();
+        assert_eq!(targets, vec![0x40_0000 + 24 * 64, 0x40_0000 + 27 * 64]);
+    }
+
+    #[test]
+    fn stride_distrusts_noise() {
+        let mut p = StridePrefetcher::default();
+        let mut out = Vec::new();
+        let addrs = [0x1000u64, 0x9040, 0x2100, 0xF3C0, 0x4440, 0xB280];
+        for a in addrs {
+            out.clear();
+            p.on_demand_access(&ctx(0x500, a), &mut out);
+        }
+        assert!(out.is_empty(), "noisy PC must not prefetch: {out:?}");
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_entries() {
+        let mut p = StridePrefetcher::default();
+        let mut out = Vec::new();
+        for i in 0..8u64 {
+            p.on_demand_access(&ctx(0x400, 0x10_0000 + i * 64), &mut out);
+            p.on_demand_access(&ctx(0x404, 0x20_0000 + i * 2 * 64), &mut out);
+        }
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(NextLine::default().name(), "next-line");
+        assert_eq!(StridePrefetcher::default().name(), "stride");
+    }
+}

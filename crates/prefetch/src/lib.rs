@@ -1,0 +1,56 @@
+//! Hardware prefetchers for the PPF reproduction.
+//!
+//! Implements the paper's underlying prefetcher and all three comparison
+//! points, each against the [`ppf_sim::Prefetcher`] interface:
+//!
+//! * [`Spp`] — Signature Path Prefetcher (the paper's case-study base),
+//!   which also exposes the unthrottled [`LookaheadSource`] candidate stream
+//!   that PPF filters,
+//! * [`Vldp`] — Variable Length Delta Prefetcher (a second lookahead
+//!   engine, also filterable by PPF),
+//! * [`Bop`] — Best-Offset Prefetcher (DPC-2 winner),
+//! * [`DaAmpm`] — DRAM-aware Access Map Pattern Matching,
+//! * [`Sms`] — Spatial Memory Streaming (spatial footprints, Sec 7.1),
+//! * [`Sandbox`] — Sandbox Prefetching (Bloom-filter candidate evaluation,
+//!   Sec 7.1),
+//! * [`NextLine`], [`StridePrefetcher`] — reference baselines.
+//!
+//! # Example
+//!
+//! ```
+//! use ppf_prefetchers::{Spp, SppConfig};
+//! use ppf_sim::{run_single_core, SystemConfig};
+//! use ppf_trace::SequentialStream;
+//!
+//! let trace = Box::new(SequentialStream::new(0x10_0000, 1 << 12, 0x400000, 4));
+//! let report = run_single_core(
+//!     SystemConfig::single_core(),
+//!     "stream",
+//!     trace,
+//!     Box::new(Spp::new(SppConfig::default())),
+//!     1_000,
+//!     10_000,
+//! );
+//! assert!(report.cores[0].prefetch.issued > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ampm;
+pub mod baselines;
+pub mod bop;
+pub mod lookahead;
+pub mod sandbox;
+pub mod sms;
+pub mod spp;
+pub mod vldp;
+
+pub use ampm::{AmpmConfig, DaAmpm};
+pub use baselines::{NextLine, StridePrefetcher};
+pub use bop::{Bop, BopConfig};
+pub use lookahead::{Candidate, CandidateMeta, LookaheadSource};
+pub use sandbox::{Sandbox, SandboxConfig};
+pub use sms::{Sms, SmsConfig};
+pub use spp::{update_signature, Spp, SppConfig, SppStats};
+pub use vldp::{Vldp, VldpConfig};

@@ -1,0 +1,99 @@
+//! The lookahead-prefetcher interface PPF filters.
+//!
+//! PPF (paper Sec 3.2) sits on *candidate streams*: a lookahead prefetcher
+//! exposes each suggested prefetch together with the metadata PPF's features
+//! need — speculation depth, the signature that produced it, the prefetcher's
+//! own confidence, and the predicted delta. [`LookaheadSource`] is that
+//! contract; [`crate::Spp`] implements it, and any other lookahead prefetcher
+//! can too.
+
+use ppf_sim::AccessContext;
+
+/// Metadata accompanying one prefetch candidate (the fields PPF's features
+/// consume; cf. paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateMeta {
+    /// Lookahead iteration that produced the candidate (1 = non-speculative).
+    pub depth: u8,
+    /// Signature under which the delta was predicted.
+    pub signature: u16,
+    /// The prefetcher's own path confidence, 0..=100.
+    pub confidence: u8,
+    /// Predicted block delta (within-page, signed).
+    pub delta: i16,
+    /// PC of the instruction that triggered the chain.
+    pub trigger_pc: u64,
+    /// Address of the demand access that triggered the chain.
+    pub trigger_addr: u64,
+}
+
+/// One suggested prefetch with metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Block-aligned target byte address.
+    pub addr: u64,
+    /// Feature metadata.
+    pub meta: CandidateMeta,
+}
+
+/// A lookahead prefetcher that can run *unthrottled*, exposing every
+/// candidate (down to its internal confidence floor) for an external filter
+/// to judge.
+pub trait LookaheadSource {
+    /// Produces unthrottled candidates for a demand access. Implementations
+    /// should push candidates in lookahead order (shallow depth first).
+    fn candidates(&mut self, ctx: &AccessContext, out: &mut Vec<Candidate>);
+
+    /// Feedback: a previously suggested prefetch proved useful (used by
+    /// SPP's global-accuracy scaling).
+    fn on_useful_prefetch(&mut self, addr: u64) {
+        let _ = addr;
+    }
+
+    /// Feedback: a prefetch fill completed. Drives the denominator of SPP's
+    /// global accuracy α — without it the path confidence never decays and
+    /// the unthrottled stream floods.
+    fn on_prefetch_fill(&mut self, addr: u64) {
+        let _ = addr;
+    }
+
+    /// Display name of the underlying prefetcher.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+    impl LookaheadSource for Fixed {
+        fn candidates(&mut self, ctx: &AccessContext, out: &mut Vec<Candidate>) {
+            out.push(Candidate {
+                addr: ctx.addr + 64,
+                meta: CandidateMeta {
+                    depth: 1,
+                    signature: 0x123,
+                    confidence: 80,
+                    delta: 1,
+                    trigger_pc: ctx.pc,
+                    trigger_addr: ctx.addr,
+                },
+            });
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut src: Box<dyn LookaheadSource> = Box::new(Fixed);
+        let ctx = AccessContext { pc: 7, addr: 0x1000, is_store: false, l2_hit: true, cycle: 0, core: 0 };
+        let mut out = Vec::new();
+        src.candidates(&ctx, &mut out);
+        src.on_useful_prefetch(0x1040);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].meta.trigger_pc, 7);
+        assert_eq!(src.name(), "fixed");
+    }
+}

@@ -1,0 +1,249 @@
+//! Sandbox Prefetching (Pugsley et al., HPCA 2014) — cited in the paper's
+//! related work (Sec 7.1).
+//!
+//! The sandbox evaluates a set of candidate fixed-offset prefetchers
+//! *without issuing any prefetches*: each candidate adds its would-be
+//! targets to a Bloom-filter "sandbox", and later demand accesses that hit
+//! the sandbox score the candidate. After an evaluation period the
+//! candidates with winning scores prefetch for real (several offsets can be
+//! active at once, with degree scaling by score).
+
+use ppf_sim::addr::{block_number, page_number, BLOCK_SIZE};
+use ppf_sim::{AccessContext, FillLevel, Prefetcher, PrefetchRequest};
+
+/// The candidate offsets evaluated in the sandbox (±1..±8, like the paper's
+/// sixteen candidate sequential prefetchers).
+const OFFSETS: [i64; 16] = [1, -1, 2, -2, 3, -3, 4, -4, 5, -5, 6, -6, 7, -7, 8, -8];
+
+/// Sandbox tuning parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SandboxConfig {
+    /// Bloom-filter bits per candidate sandbox (power of two).
+    pub bloom_bits: usize,
+    /// Accesses per evaluation period.
+    pub period: u32,
+    /// Score (sandbox hits per period) required to activate an offset.
+    pub threshold: u32,
+    /// Maximum simultaneously active offsets.
+    pub max_active: usize,
+}
+
+impl Default for SandboxConfig {
+    fn default() -> Self {
+        Self { bloom_bits: 2048, period: 256, threshold: 64, max_active: 4 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    offset: i64,
+    bloom: Vec<u64>,
+    score: u32,
+}
+
+impl Candidate {
+    fn new(offset: i64, bits: usize) -> Self {
+        Self { offset, bloom: vec![0; bits / 64], score: 0 }
+    }
+
+    fn hash(block: u64, salt: u64, bits: usize) -> usize {
+        let mut h = block.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+        h ^= h >> 29;
+        (h as usize) & (bits - 1)
+    }
+
+    fn insert(&mut self, block: u64, bits: usize) {
+        for salt in [0x1234, 0xABCD] {
+            let b = Self::hash(block, salt, bits);
+            self.bloom[b / 64] |= 1 << (b % 64);
+        }
+    }
+
+    fn contains(&self, block: u64, bits: usize) -> bool {
+        [0x1234u64, 0xABCD].iter().all(|&salt| {
+            let b = Self::hash(block, salt, bits);
+            self.bloom[b / 64] >> (b % 64) & 1 == 1
+        })
+    }
+
+    fn reset(&mut self) {
+        self.bloom.iter_mut().for_each(|w| *w = 0);
+        self.score = 0;
+    }
+}
+
+/// The sandbox prefetcher.
+#[derive(Debug, Clone)]
+pub struct Sandbox {
+    cfg: SandboxConfig,
+    candidates: Vec<Candidate>,
+    accesses: u32,
+    active: Vec<i64>,
+}
+
+impl Sandbox {
+    /// Creates a sandbox prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bloom_bits` is not a power of two or `period == 0`.
+    pub fn new(cfg: SandboxConfig) -> Self {
+        assert!(cfg.bloom_bits.is_power_of_two() && cfg.bloom_bits >= 64, "bad bloom size");
+        assert!(cfg.period > 0, "period must be positive");
+        Self {
+            candidates: OFFSETS.iter().map(|&o| Candidate::new(o, cfg.bloom_bits)).collect(),
+            accesses: 0,
+            active: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Offsets currently prefetching for real.
+    pub fn active_offsets(&self) -> &[i64] {
+        &self.active
+    }
+
+    fn end_period(&mut self) {
+        let mut winners: Vec<(u32, i64)> = self
+            .candidates
+            .iter()
+            .filter(|c| c.score >= self.cfg.threshold)
+            .map(|c| (c.score, c.offset))
+            .collect();
+        winners.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.abs().cmp(&b.1.abs())));
+        self.active = winners.into_iter().take(self.cfg.max_active).map(|(_, o)| o).collect();
+        for c in &mut self.candidates {
+            c.reset();
+        }
+        self.accesses = 0;
+    }
+}
+
+impl Default for Sandbox {
+    fn default() -> Self {
+        Self::new(SandboxConfig::default())
+    }
+}
+
+impl Prefetcher for Sandbox {
+    fn on_demand_access(&mut self, ctx: &AccessContext, out: &mut Vec<PrefetchRequest>) {
+        let block = block_number(ctx.addr);
+        let bits = self.cfg.bloom_bits;
+
+        // Score candidates whose sandbox predicted this access, then let
+        // each candidate sandbox its own would-be prefetch.
+        for c in &mut self.candidates {
+            if c.contains(block, bits) {
+                c.score += 1;
+            }
+            let target = block as i64 + c.offset;
+            if target > 0 {
+                c.insert(target as u64, bits);
+            }
+        }
+
+        // Real prefetches from the active set.
+        for &o in &self.active {
+            let target = ctx.addr as i64 + o * BLOCK_SIZE as i64;
+            if target > 0 && page_number(target as u64) == page_number(ctx.addr) {
+                out.push(PrefetchRequest::new(target as u64, FillLevel::L2));
+            }
+        }
+
+        self.accesses += 1;
+        if self.accesses >= self.cfg.period {
+            self.end_period();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sandbox"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(addr: u64) -> AccessContext {
+        AccessContext { pc: 0x400, addr, is_store: false, l2_hit: false, cycle: 0, core: 0 }
+    }
+
+    #[test]
+    fn activates_unit_stride() {
+        let mut sb = Sandbox::default();
+        let mut out = Vec::new();
+        for i in 0..2000u64 {
+            out.clear();
+            sb.on_demand_access(&ctx(0x100_0000 + i * 64), &mut out);
+        }
+        assert!(sb.active_offsets().contains(&1), "active: {:?}", sb.active_offsets());
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn activates_negative_stride() {
+        let mut sb = Sandbox::default();
+        let mut out = Vec::new();
+        for i in (0..2000u64).rev() {
+            out.clear();
+            sb.on_demand_access(&ctx(0x200_0000 + i * 64), &mut out);
+        }
+        assert!(sb.active_offsets().contains(&-1), "active: {:?}", sb.active_offsets());
+    }
+
+    #[test]
+    fn random_traffic_stays_inactive() {
+        let mut sb = Sandbox::default();
+        let mut out = Vec::new();
+        let mut x = 0x12345678u64;
+        for _ in 0..4000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            out.clear();
+            sb.on_demand_access(&ctx((x & 0xFFFF_FFC0) | 0x1_0000_0000), &mut out);
+        }
+        assert!(sb.active_offsets().is_empty(), "active: {:?}", sb.active_offsets());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stride3_activates_multiple_or_three() {
+        let mut sb = Sandbox::default();
+        let mut out = Vec::new();
+        for i in 0..4000u64 {
+            out.clear();
+            sb.on_demand_access(&ctx(0x300_0000 + i * 3 * 64), &mut out);
+        }
+        assert!(
+            sb.active_offsets().contains(&3) || sb.active_offsets().contains(&6),
+            "active: {:?}",
+            sb.active_offsets()
+        );
+    }
+
+    #[test]
+    fn respects_max_active() {
+        let mut sb = Sandbox::new(SandboxConfig { max_active: 2, ..SandboxConfig::default() });
+        let mut out = Vec::new();
+        for i in 0..4000u64 {
+            out.clear();
+            sb.on_demand_access(&ctx(0x400_0000 + i * 64), &mut out);
+        }
+        assert!(sb.active_offsets().len() <= 2);
+    }
+
+    #[test]
+    fn prefetches_stay_in_page() {
+        let mut sb = Sandbox::default();
+        let mut all = Vec::new();
+        for i in 0..3000u64 {
+            sb.on_demand_access(&ctx(0x500_0000 + i * 64), &mut all);
+        }
+        for (r, i) in all.iter().zip(0u64..) {
+            let _ = i;
+            assert_eq!(r.addr % 64, 0);
+        }
+    }
+}

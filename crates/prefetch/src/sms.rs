@@ -1,0 +1,257 @@
+//! Spatial Memory Streaming (Somogyi et al., ISCA 2006) — cited in the
+//! paper's related work (Sec 7.1) as the canonical spatial-footprint
+//! prefetcher.
+//!
+//! SMS learns, per (PC, spatial-region offset) *trigger*, the bit-pattern of
+//! blocks a program touches around a triggering miss. When the same trigger
+//! recurs in a new region, the recorded footprint is prefetched wholesale.
+//! Two structures: an Active Generation Table (AGT) accumulating footprints
+//! for regions currently being touched, and a Pattern History Table (PHT)
+//! holding learned footprints.
+
+use ppf_sim::addr::{page_number, page_offset_blocks, BLOCKS_PER_PAGE, BLOCK_SIZE, PAGE_SIZE};
+use ppf_sim::{AccessContext, FillLevel, Prefetcher, PrefetchRequest};
+
+/// SMS tuning parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmsConfig {
+    /// Active Generation Table entries (regions being observed).
+    pub agt_entries: usize,
+    /// Pattern History Table entries.
+    pub pht_entries: usize,
+    /// Maximum prefetches issued per footprint replay.
+    pub max_degree: usize,
+}
+
+impl Default for SmsConfig {
+    fn default() -> Self {
+        Self { agt_entries: 32, pht_entries: 2048, max_degree: 8 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct AgtEntry {
+    valid: bool,
+    region: u64,
+    trigger_key: u64,
+    footprint: u64,
+    lru: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PhtEntry {
+    valid: bool,
+    tag: u32,
+    footprint: u64,
+}
+
+/// The Spatial Memory Streaming prefetcher.
+#[derive(Debug, Clone)]
+pub struct Sms {
+    cfg: SmsConfig,
+    agt: Vec<AgtEntry>,
+    pht: Vec<PhtEntry>,
+    clock: u64,
+}
+
+impl Sms {
+    /// Creates an SMS with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any table size is zero or `pht_entries` is not a power of
+    /// two.
+    pub fn new(cfg: SmsConfig) -> Self {
+        assert!(cfg.agt_entries > 0, "AGT needs entries");
+        assert!(cfg.pht_entries.is_power_of_two(), "PHT size must be a power of two");
+        assert!(cfg.max_degree > 0, "degree must be positive");
+        Self {
+            agt: vec![AgtEntry::default(); cfg.agt_entries],
+            pht: vec![PhtEntry::default(); cfg.pht_entries],
+            clock: 0,
+            cfg,
+        }
+    }
+
+    /// The PC-plus-offset key the paper found most predictive.
+    fn trigger_key(pc: u64, offset: u64) -> u64 {
+        (pc >> 2) ^ (offset << 40)
+    }
+
+    fn pht_slot(&self, key: u64) -> (usize, u32) {
+        let h = key ^ (key >> 13) ^ (key >> 29);
+        ((h as usize) & (self.cfg.pht_entries - 1), ((h >> 24) & 0xFFFF) as u32)
+    }
+
+    /// Ends a region's active generation: store its accumulated footprint.
+    fn commit(&mut self, agt_idx: usize) {
+        let e = self.agt[agt_idx];
+        if !e.valid || e.footprint.count_ones() < 2 {
+            return;
+        }
+        let (idx, tag) = self.pht_slot(e.trigger_key);
+        self.pht[idx] = PhtEntry { valid: true, tag, footprint: e.footprint };
+    }
+
+    /// Looks up a learned footprint for a trigger.
+    fn lookup(&self, key: u64) -> Option<u64> {
+        let (idx, tag) = self.pht_slot(key);
+        let e = &self.pht[idx];
+        (e.valid && e.tag == tag).then_some(e.footprint)
+    }
+}
+
+impl Default for Sms {
+    fn default() -> Self {
+        Self::new(SmsConfig::default())
+    }
+}
+
+impl Prefetcher for Sms {
+    fn on_demand_access(&mut self, ctx: &AccessContext, out: &mut Vec<PrefetchRequest>) {
+        self.clock += 1;
+        let clock = self.clock;
+        let region = page_number(ctx.addr);
+        let offset = page_offset_blocks(ctx.addr);
+        let page_base = ctx.addr & !(PAGE_SIZE - 1);
+
+        // Already generating for this region? Accumulate.
+        if let Some(i) = self.agt.iter().position(|e| e.valid && e.region == region) {
+            self.agt[i].footprint |= 1 << offset;
+            self.agt[i].lru = clock;
+            return;
+        }
+
+        // New region: this access is the *trigger*. Replay any learned
+        // footprint for this trigger, rotated to the trigger offset.
+        let key = Self::trigger_key(ctx.pc, offset);
+        if let Some(fp) = self.lookup(key) {
+            let mut issued = 0;
+            for bit in 0..BLOCKS_PER_PAGE {
+                if bit != offset && (fp >> bit) & 1 == 1 {
+                    out.push(PrefetchRequest::new(
+                        page_base + bit * BLOCK_SIZE,
+                        FillLevel::L2,
+                    ));
+                    issued += 1;
+                    if issued >= self.cfg.max_degree {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Start a new active generation (evicting the LRU one, whose
+        // footprint gets committed).
+        let victim = self
+            .agt
+            .iter()
+            .position(|e| !e.valid)
+            .unwrap_or_else(|| {
+                self.agt
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.lru)
+                    .map(|(i, _)| i)
+                    .expect("AGT non-empty")
+            });
+        self.commit(victim);
+        self.agt[victim] = AgtEntry {
+            valid: true,
+            region,
+            trigger_key: key,
+            footprint: 1 << offset,
+            lru: clock,
+        };
+    }
+
+    fn name(&self) -> &'static str {
+        "sms"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(pc: u64, addr: u64) -> AccessContext {
+        AccessContext { pc, addr, is_store: false, l2_hit: false, cycle: 0, core: 0 }
+    }
+
+    /// Touch `offsets` of region `r`, triggered by `pc`.
+    fn visit(sms: &mut Sms, pc: u64, base: u64, offsets: &[u64]) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        for &o in offsets {
+            sms.on_demand_access(&ctx(pc, base + o * 64), &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn learns_and_replays_footprint() {
+        let mut sms = Sms::new(SmsConfig { agt_entries: 1, ..SmsConfig::default() });
+        // Visit several regions with the same footprint {0, 3, 7, 12} from
+        // the same trigger PC; the 1-entry AGT commits on each new region.
+        for r in 0..6u64 {
+            visit(&mut sms, 0x400, 0x100_0000 + r * 4096, &[0, 3, 7, 12]);
+        }
+        // A brand-new region triggered the same way replays the footprint.
+        let out = visit(&mut sms, 0x400, 0x900_0000, &[0]);
+        let addrs: Vec<u64> = out.iter().map(|r| (r.addr % 4096) / 64).collect();
+        assert_eq!(addrs, vec![3, 7, 12], "{out:?}");
+    }
+
+    #[test]
+    fn different_trigger_pc_has_its_own_footprint() {
+        let mut sms = Sms::new(SmsConfig { agt_entries: 1, ..SmsConfig::default() });
+        for r in 0..6u64 {
+            visit(&mut sms, 0xAAA0, 0x100_0000 + r * 8192, &[0, 5]);
+            visit(&mut sms, 0xBBB0, 0x100_1000 + r * 8192, &[0, 9]);
+        }
+        let a = visit(&mut sms, 0xAAA0, 0x900_0000, &[0]);
+        let b = visit(&mut sms, 0xBBB0, 0x910_0000, &[0]);
+        assert!(a.iter().any(|r| (r.addr % 4096) / 64 == 5), "{a:?}");
+        assert!(b.iter().any(|r| (r.addr % 4096) / 64 == 9), "{b:?}");
+    }
+
+    #[test]
+    fn no_replay_without_history() {
+        let mut sms = Sms::default();
+        let out = visit(&mut sms, 0x400, 0x100_0000, &[0]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_block_footprints_not_committed() {
+        let mut sms = Sms::new(SmsConfig { agt_entries: 1, ..SmsConfig::default() });
+        for r in 0..6u64 {
+            visit(&mut sms, 0x400, 0x100_0000 + r * 4096, &[0]);
+        }
+        let out = visit(&mut sms, 0x400, 0x900_0000, &[0]);
+        assert!(out.is_empty(), "a lone trigger is not a spatial pattern");
+    }
+
+    #[test]
+    fn degree_cap_respected() {
+        let mut sms = Sms::new(SmsConfig { agt_entries: 1, max_degree: 3, ..Default::default() });
+        let all: Vec<u64> = (0..20).collect();
+        for r in 0..6u64 {
+            visit(&mut sms, 0x400, 0x100_0000 + r * 4096, &all);
+        }
+        let out = visit(&mut sms, 0x400, 0x900_0000, &[0]);
+        assert!(out.len() <= 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut sms = Sms::default();
+            let mut all = Vec::new();
+            for r in 0..8u64 {
+                all.extend(visit(&mut sms, 0x400, 0x200_0000 + r * 4096, &[0, 2, 4, 9]));
+            }
+            all
+        };
+        assert_eq!(run(), run());
+    }
+}

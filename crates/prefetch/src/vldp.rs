@@ -1,0 +1,362 @@
+//! Variable Length Delta Prefetcher (Shevgoor et al., MICRO 2015) — the
+//! lookahead prefetcher the paper cites alongside SPP (Sec 7.2).
+//!
+//! VLDP correlates *histories of deltas* within a page with the next delta:
+//! three Delta Prediction Tables (DPTs) are indexed by the last one, two and
+//! three deltas respectively, and the longest history with a hit wins. A
+//! Delta History Buffer (DHB) tracks per-page state. Like SPP, VLDP can
+//! chase its own predictions to look ahead multiple steps.
+//!
+//! Implemented both as a standalone [`Prefetcher`] and as a
+//! [`LookaheadSource`], so PPF can filter it — demonstrating the paper's
+//! claim that the filter is agnostic to the underlying prefetcher.
+
+use crate::lookahead::{Candidate, CandidateMeta, LookaheadSource};
+use ppf_sim::addr::{page_number, page_offset_blocks, BLOCKS_PER_PAGE};
+use ppf_sim::{AccessContext, FillLevel, Prefetcher, PrefetchRequest};
+
+/// VLDP tuning parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VldpConfig {
+    /// Delta History Buffer entries (pages tracked).
+    pub dhb_entries: usize,
+    /// Entries per Delta Prediction Table.
+    pub dpt_entries: usize,
+    /// Lookahead depth (prediction chaining).
+    pub depth: u8,
+    /// Confidence a DPT hit must reach before prefetching (0..=3).
+    pub min_confidence: u8,
+}
+
+impl Default for VldpConfig {
+    fn default() -> Self {
+        Self { dhb_entries: 64, dpt_entries: 256, depth: 4, min_confidence: 1 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DhbEntry {
+    valid: bool,
+    page: u64,
+    last_offset: u8,
+    deltas: [i16; 3], // most recent first
+    num_deltas: u8,
+    lru: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DptEntry {
+    valid: bool,
+    tag: u32,
+    prediction: i16,
+    confidence: u8, // 2-bit
+}
+
+/// The Variable Length Delta Prefetcher.
+#[derive(Debug, Clone)]
+pub struct Vldp {
+    cfg: VldpConfig,
+    dhb: Vec<DhbEntry>,
+    // dpt[h]: table indexed by a hash of the last h+1 deltas.
+    dpt: [Vec<DptEntry>; 3],
+    clock: u64,
+}
+
+impl Vldp {
+    /// Creates a VLDP with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if table sizes are zero or `dpt_entries` is not a power of two.
+    pub fn new(cfg: VldpConfig) -> Self {
+        assert!(cfg.dhb_entries > 0, "DHB needs entries");
+        assert!(cfg.dpt_entries.is_power_of_two(), "DPT size must be a power of two");
+        assert!(cfg.depth > 0, "depth must be positive");
+        Self {
+            dhb: vec![DhbEntry::default(); cfg.dhb_entries],
+            dpt: [
+                vec![DptEntry::default(); cfg.dpt_entries],
+                vec![DptEntry::default(); cfg.dpt_entries],
+                vec![DptEntry::default(); cfg.dpt_entries],
+            ],
+            clock: 0,
+            cfg,
+        }
+    }
+
+    fn hash_history(history: &[i16]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &d in history {
+            let enc = (d.unsigned_abs() as u64 & 0x3F) | if d < 0 { 0x40 } else { 0 };
+            h ^= enc;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    fn dpt_slot(&self, history: &[i16]) -> (usize, u32) {
+        let h = Self::hash_history(history);
+        let idx = (h as usize) & (self.cfg.dpt_entries - 1);
+        let tag = ((h >> 20) & 0xFFFF) as u32;
+        (idx, tag)
+    }
+
+    /// Trains the DPTs: for each history length present before this delta,
+    /// associate that history with the observed delta.
+    fn train(&mut self, deltas: &[i16; 3], num: u8, observed: i16) {
+        for len in 1..=(num as usize).min(3) {
+            let history = &deltas[0..len];
+            let (idx, tag) = self.dpt_slot(history);
+            let e = &mut self.dpt[len - 1][idx];
+            if e.valid && e.tag == tag {
+                if e.prediction == observed {
+                    e.confidence = (e.confidence + 1).min(3);
+                } else if e.confidence > 0 {
+                    e.confidence -= 1;
+                } else {
+                    e.prediction = observed;
+                }
+            } else {
+                *e = DptEntry { valid: true, tag, prediction: observed, confidence: 0 };
+            }
+        }
+    }
+
+    /// Longest-history DPT prediction for the given delta history.
+    fn predict(&self, deltas: &[i16; 3], num: u8) -> Option<(i16, u8, u8)> {
+        for len in (1..=(num as usize).min(3)).rev() {
+            let history = &deltas[0..len];
+            let (idx, tag) = self.dpt_slot(history);
+            let e = &self.dpt[len - 1][idx];
+            if e.valid && e.tag == tag && e.confidence >= self.cfg.min_confidence {
+                return Some((e.prediction, e.confidence, len as u8));
+            }
+        }
+        None
+    }
+
+    /// Finds (or allocates) the page's DHB entry; the flag reports whether
+    /// the page was already tracked.
+    fn dhb_lookup(&mut self, page: u64) -> (usize, bool) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(i) = self.dhb.iter().position(|e| e.valid && e.page == page) {
+            self.dhb[i].lru = clock;
+            return (i, true);
+        }
+        let victim = self
+            .dhb
+            .iter()
+            .position(|e| !e.valid)
+            .unwrap_or_else(|| {
+                self.dhb
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.lru)
+                    .map(|(i, _)| i)
+                    .expect("DHB non-empty")
+            });
+        self.dhb[victim] = DhbEntry { valid: true, page, lru: clock, ..DhbEntry::default() };
+        (victim, false)
+    }
+
+    /// Core engine: updates per-page history, trains, then chains
+    /// predictions up to `depth` to emit candidates.
+    fn generate(&mut self, ctx: &AccessContext, out: &mut Vec<Candidate>) {
+        let page = page_number(ctx.addr);
+        let offset = page_offset_blocks(ctx.addr) as u8;
+        let page_base = ctx.addr & !0xFFFu64;
+        let (i, tracked) = self.dhb_lookup(page);
+
+        // Observe the new delta; a page's first access only records the
+        // offset.
+        if tracked {
+            let entry = self.dhb[i];
+            let delta = offset as i16 - entry.last_offset as i16;
+            if delta != 0 {
+                self.train(&entry.deltas, entry.num_deltas, delta);
+                let e = &mut self.dhb[i];
+                e.deltas = [delta, entry.deltas[0], entry.deltas[1]];
+                e.num_deltas = (entry.num_deltas + 1).min(3);
+            }
+        }
+        self.dhb[i].last_offset = offset;
+
+        // Lookahead: chain predictions.
+        let mut deltas = self.dhb[i].deltas;
+        let mut num = self.dhb[i].num_deltas;
+        let mut cursor = offset as i32;
+        for depth in 1..=self.cfg.depth {
+            let Some((pred, conf, hist_len)) = self.predict(&deltas, num) else { break };
+            let target = cursor + pred as i32;
+            if !(0..BLOCKS_PER_PAGE as i32).contains(&target) {
+                break;
+            }
+            out.push(Candidate {
+                addr: page_base + target as u64 * 64,
+                meta: CandidateMeta {
+                    depth,
+                    // Synthesize a "signature" from the history hash so PPF's
+                    // signature-based features still discriminate paths.
+                    signature: (Self::hash_history(&deltas[0..hist_len as usize]) & 0xFFF)
+                        as u16,
+                    confidence: 25 * conf + 25,
+                    delta: pred,
+                    trigger_pc: ctx.pc,
+                    trigger_addr: ctx.addr,
+                },
+            });
+            cursor = target;
+            deltas = [pred, deltas[0], deltas[1]];
+            num = (num + 1).min(3);
+        }
+    }
+}
+
+impl Default for Vldp {
+    fn default() -> Self {
+        Self::new(VldpConfig::default())
+    }
+}
+
+impl Prefetcher for Vldp {
+    fn on_demand_access(&mut self, ctx: &AccessContext, out: &mut Vec<PrefetchRequest>) {
+        let mut cands = Vec::new();
+        self.generate(ctx, &mut cands);
+        out.extend(cands.iter().map(|c| {
+            let fill = if c.meta.confidence >= 75 { FillLevel::L2 } else { FillLevel::Llc };
+            PrefetchRequest::new(c.addr, fill)
+        }));
+    }
+
+    fn name(&self) -> &'static str {
+        "vldp"
+    }
+}
+
+impl LookaheadSource for Vldp {
+    fn candidates(&mut self, ctx: &AccessContext, out: &mut Vec<Candidate>) {
+        self.generate(ctx, out);
+    }
+
+    fn name(&self) -> &'static str {
+        "vldp-unthrottled"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(pc: u64, addr: u64) -> AccessContext {
+        AccessContext { pc, addr, is_store: false, l2_hit: false, cycle: 0, core: 0 }
+    }
+
+    fn drive(v: &mut Vldp, base: u64, offsets: &[u64]) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        for &o in offsets {
+            v.on_demand_access(&ctx(0x400, base + o * 64), &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn learns_unit_stride() {
+        let mut v = Vldp::default();
+        let mut reqs = Vec::new();
+        for p in 0..8u64 {
+            reqs = drive(&mut v, 0x10_0000 + p * 4096, &(0..32).collect::<Vec<_>>());
+        }
+        assert!(!reqs.is_empty(), "unit stride must be prefetched");
+        assert_eq!(reqs.last().unwrap().addr % 64, 0);
+    }
+
+    #[test]
+    fn learns_delta_sequence() {
+        // Repeating pattern +1, +3: history [1] -> 3, [3] -> 1, [3,1] -> ...
+        let mut v = Vldp::default();
+        let offsets: Vec<u64> =
+            (0..28).scan(0u64, |acc, i| {
+                *acc += if i % 2 == 0 { 1 } else { 3 };
+                Some(*acc)
+            })
+            .collect();
+        let mut last = Vec::new();
+        for p in 0..12u64 {
+            last = drive(&mut v, 0x40_0000 + p * 4096, &offsets);
+        }
+        assert!(!last.is_empty(), "alternating delta pattern must be learned");
+    }
+
+    #[test]
+    fn longest_history_disambiguates() {
+        // Two contexts: after [2,1] comes +1, after [2,3] comes +3. The
+        // one-delta history [2] alone is ambiguous; DPT-2 resolves it.
+        let mut v = Vldp::default();
+        let a: Vec<u64> = vec![0, 1, 3, 4, 6, 7, 9, 10, 12, 13, 15]; // +1,+2 repeating
+        let b: Vec<u64> = vec![0, 3, 5, 8, 10, 13, 15, 18, 20, 23]; // +3,+2 repeating
+        for p in 0..10u64 {
+            drive(&mut v, 0x80_0000 + p * 8192, &a);
+            drive(&mut v, 0x80_0000 + 4096 + p * 8192, &b);
+        }
+        let mut out = Vec::new();
+        // Replay context A's prefix in a fresh page and check the prediction.
+        let base = 0xF0_0000;
+        for &o in &[0u64, 1, 3] {
+            out.clear();
+            v.on_demand_access(&ctx(0x400, base + o * 64), &mut out);
+        }
+        assert!(
+            out.iter().any(|r| r.addr == base + 4 * 64),
+            "after +1,+2 the next should be +1: {out:?}"
+        );
+    }
+
+    #[test]
+    fn no_prediction_without_history() {
+        let mut v = Vldp::default();
+        let mut out = Vec::new();
+        v.on_demand_access(&ctx(0x400, 0x55_0000), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn candidates_carry_metadata() {
+        let mut v = Vldp::default();
+        for p in 0..6u64 {
+            drive(&mut v, 0x20_0000 + p * 4096, &(0..32).collect::<Vec<_>>());
+        }
+        let mut cands = Vec::new();
+        LookaheadSource::candidates(&mut v, &ctx(0x777, 0x20_0000 + 4096 * 5 + 64), &mut cands);
+        if let Some(c) = cands.first() {
+            assert_eq!(c.meta.trigger_pc, 0x777);
+            assert!(c.meta.depth >= 1);
+            assert!(c.meta.confidence <= 100);
+        }
+    }
+
+    #[test]
+    fn stays_in_page() {
+        let mut v = Vldp::default();
+        for p in 0..6u64 {
+            drive(&mut v, 0x30_0000 + p * 4096, &(0..64).collect::<Vec<_>>());
+        }
+        let out = drive(&mut v, 0x90_0000, &[60, 61, 62, 63]);
+        for r in &out {
+            assert_eq!(r.addr >> 12, 0x90_0000 >> 12, "crossed page: {:#x}", r.addr);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut v = Vldp::default();
+            let mut all = Vec::new();
+            for p in 0..6u64 {
+                all.extend(drive(&mut v, 0x60_0000 + p * 4096, &(0..48).collect::<Vec<_>>()));
+            }
+            all
+        };
+        assert_eq!(run(), run());
+    }
+}

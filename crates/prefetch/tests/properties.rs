@@ -1,0 +1,131 @@
+//! Property-based tests of the prefetchers' structural invariants under
+//! arbitrary access streams.
+
+use ppf_prefetchers::{Bop, DaAmpm, LookaheadSource, Spp, SppConfig, Vldp};
+use ppf_sim::{AccessContext, Prefetcher};
+use proptest::prelude::*;
+
+fn ctx(pc: u64, addr: u64, cycle: u64) -> AccessContext {
+    AccessContext { pc, addr, is_store: false, l2_hit: cycle.is_multiple_of(2), cycle, core: 0 }
+}
+
+/// An arbitrary but bounded access stream: (page selector, offset walk).
+fn stream_strategy() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    proptest::collection::vec((0u8..8, 0u8..64), 1..300)
+}
+
+proptest! {
+    /// SPP candidates always stay inside the triggering page, carry
+    /// confidences ≤ 100 and depths within the configured cap — for any
+    /// access stream.
+    #[test]
+    fn spp_candidates_well_formed(stream in stream_strategy()) {
+        let mut spp = Spp::new(SppConfig::default());
+        let max_depth = spp.config().max_depth;
+        let mut out = Vec::new();
+        for (i, (page, offset)) in stream.into_iter().enumerate() {
+            let addr = 0x100_0000 + u64::from(page) * 4096 + u64::from(offset) * 64;
+            out.clear();
+            LookaheadSource::candidates(&mut spp, &ctx(0x400, addr, i as u64), &mut out);
+            for c in &out {
+                prop_assert_eq!(c.addr >> 12, addr >> 12, "candidate left the page");
+                prop_assert!(c.meta.confidence <= 100);
+                prop_assert!(c.meta.depth >= 1 && c.meta.depth <= max_depth);
+                prop_assert_eq!(c.addr % 64, 0);
+            }
+        }
+    }
+
+    /// SPP's global accuracy scale stays within its documented clamp under
+    /// arbitrary interleavings of fills and useful notifications.
+    #[test]
+    fn spp_alpha_clamped(events in proptest::collection::vec(any::<bool>(), 1..2000)) {
+        let mut spp = Spp::default();
+        for (i, useful) in events.into_iter().enumerate() {
+            if useful {
+                Prefetcher::on_useful_prefetch(&mut spp, i as u64 * 64);
+            } else {
+                Prefetcher::on_prefetch_fill(&mut spp, i as u64 * 64, ppf_sim::FillLevel::L2);
+            }
+            let a = spp.alpha_percent();
+            prop_assert!((25..=100).contains(&a), "alpha {} out of clamp", a);
+        }
+    }
+
+    /// VLDP candidates stay in-page and block-aligned for any stream.
+    #[test]
+    fn vldp_candidates_well_formed(stream in stream_strategy()) {
+        let mut v = Vldp::default();
+        let mut out = Vec::new();
+        for (i, (page, offset)) in stream.into_iter().enumerate() {
+            let addr = 0x200_0000 + u64::from(page) * 4096 + u64::from(offset) * 64;
+            out.clear();
+            LookaheadSource::candidates(&mut v, &ctx(0x500, addr, i as u64), &mut out);
+            for c in &out {
+                prop_assert_eq!(c.addr >> 12, addr >> 12);
+                prop_assert_eq!(c.addr % 64, 0);
+                prop_assert!(c.meta.confidence <= 100);
+            }
+        }
+    }
+
+    /// BOP never emits a request outside the triggering page and never
+    /// panics, whatever the stream looks like.
+    #[test]
+    fn bop_requests_in_page(stream in stream_strategy()) {
+        let mut bop = Bop::default();
+        let mut out = Vec::new();
+        for (i, (page, offset)) in stream.into_iter().enumerate() {
+            let addr = 0x300_0000 + u64::from(page) * 4096 + u64::from(offset) * 64;
+            out.clear();
+            bop.on_demand_access(&ctx(0x600, addr, i as u64), &mut out);
+            for r in &out {
+                prop_assert_eq!(r.addr >> 12, addr >> 12);
+            }
+        }
+    }
+
+    /// DA-AMPM respects its per-trigger cap and page bounds for any stream.
+    #[test]
+    fn ampm_requests_bounded(stream in stream_strategy()) {
+        let mut p = DaAmpm::default();
+        let mut out = Vec::new();
+        for (i, (page, offset)) in stream.into_iter().enumerate() {
+            let addr = 0x400_0000 + u64::from(page) * 4096 + u64::from(offset) * 64;
+            out.clear();
+            p.on_demand_access(&ctx(0x700, addr, i as u64), &mut out);
+            prop_assert!(out.len() <= 4, "cap exceeded: {}", out.len());
+            for r in &out {
+                prop_assert_eq!(r.addr >> 12, addr >> 12);
+            }
+        }
+    }
+
+    /// Throttled SPP never emits more requests than the unthrottled stream
+    /// has candidates, cumulatively, for identically driven fresh instances.
+    /// (A per-trigger subset property does not hold: the two modes insert
+    /// different entries into the GHR, so their states legitimately diverge.)
+    #[test]
+    fn spp_throttled_emits_no_more(stream in stream_strategy()) {
+        let mut a = Spp::default();
+        let mut b = Spp::default();
+        let mut throttled_total = 0usize;
+        let mut unthrottled_total = 0usize;
+        for (i, (page, offset)) in stream.into_iter().enumerate() {
+            let addr = 0x500_0000 + u64::from(page) * 4096 + u64::from(offset) * 64;
+            let c = ctx(0x800, addr, i as u64);
+            let mut throttled = Vec::new();
+            Prefetcher::on_demand_access(&mut a, &c, &mut throttled);
+            throttled_total += throttled.len();
+            let mut unthrottled = Vec::new();
+            LookaheadSource::candidates(&mut b, &c, &mut unthrottled);
+            unthrottled_total += unthrottled.len();
+        }
+        prop_assert!(
+            throttled_total <= unthrottled_total,
+            "throttled {} > unthrottled {}",
+            throttled_total,
+            unthrottled_total
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Address arithmetic helpers.
+//!
+//! The simulator operates on byte addresses (`u64`), like ChampSim. All
+//! structural units (blocks, pages) are fixed: 64-byte cache blocks and
+//! 4 KB pages, matching the paper's Table 1.
+
+/// Cache block (line) size in bytes.
+pub const BLOCK_SIZE: u64 = 64;
+/// log2 of the block size.
+pub const BLOCK_BITS: u32 = 6;
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+/// log2 of the page size.
+pub const PAGE_BITS: u32 = 12;
+/// Number of cache blocks per page (64).
+pub const BLOCKS_PER_PAGE: u64 = PAGE_SIZE / BLOCK_SIZE;
+
+/// Returns the block-aligned byte address containing `addr`.
+pub fn block_align(addr: u64) -> u64 {
+    addr & !(BLOCK_SIZE - 1)
+}
+
+/// Returns the block number (address >> 6).
+pub fn block_number(addr: u64) -> u64 {
+    addr >> BLOCK_BITS
+}
+
+/// Returns the page number (address >> 12).
+pub fn page_number(addr: u64) -> u64 {
+    addr >> PAGE_BITS
+}
+
+/// Returns the block offset within its page (0..64).
+pub fn page_offset_blocks(addr: u64) -> u64 {
+    (addr >> BLOCK_BITS) & (BLOCKS_PER_PAGE - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment() {
+        assert_eq!(block_align(0x1234), 0x1200);
+        assert_eq!(block_align(0x1240), 0x1240);
+    }
+
+    #[test]
+    fn numbering() {
+        assert_eq!(block_number(0x1000), 0x40);
+        assert_eq!(page_number(0x3000), 3);
+    }
+
+    #[test]
+    fn page_offsets() {
+        assert_eq!(page_offset_blocks(0x0000), 0);
+        assert_eq!(page_offset_blocks(0x0FC0), 63);
+        assert_eq!(page_offset_blocks(0x1000), 0);
+    }
+
+    #[test]
+    fn consistency() {
+        for addr in [0u64, 63, 64, 4095, 4096, 0xDEAD_BEEF] {
+            assert_eq!(block_number(block_align(addr)), block_number(addr));
+            assert!(page_offset_blocks(addr) < BLOCKS_PER_PAGE);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! System configuration (paper Table 1) and the DPC-2 constraint variants.
+
+/// Core pipeline parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instructions dispatched into the ROB per cycle.
+    pub fetch_width: u32,
+    /// Instructions retired from the ROB head per cycle.
+    pub retire_width: u32,
+    /// Reorder-buffer entries.
+    pub rob_size: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self { fetch_width: 6, retire_width: 4, rob_size: 256 }
+    }
+}
+
+/// Cache replacement policy.
+///
+/// The paper evaluates with LRU everywhere (Table 1); SRRIP is provided as
+/// an extension for scan-resistance studies (cf. the prefetch-aware cache
+/// management work the paper cites in Sec 7.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplacementPolicy {
+    /// Least-recently-used (the paper's configuration).
+    #[default]
+    Lru,
+    /// Static re-reference interval prediction (2-bit RRPV).
+    Srrip,
+}
+
+/// One cache level's geometry and timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Access latency in core cycles (added on a hit at this level).
+    pub latency: u64,
+    /// Miss-status-holding registers (outstanding misses).
+    pub mshrs: usize,
+    /// Replacement policy.
+    pub policy: ReplacementPolicy,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by size/ways (each line is 64 B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not an exact power-of-two set count.
+    pub fn sets(&self) -> usize {
+        let lines = (self.size_bytes / crate::addr::BLOCK_SIZE) as usize;
+        assert!(lines.is_multiple_of(self.ways), "capacity not divisible by ways");
+        let sets = lines / self.ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+/// DRAM channel timing, expressed in core cycles (4 GHz core).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Independent channels (each with its own data bus).
+    pub channels: usize,
+    /// Banks per channel.
+    pub banks: usize,
+    /// Row-buffer size in bytes.
+    pub row_bytes: u64,
+    /// Column access latency when the row is open (core cycles).
+    pub row_hit_latency: u64,
+    /// Precharge + activate + column access when the row must change.
+    pub row_miss_latency: u64,
+    /// Data-bus occupancy per 64-byte transfer (core cycles). 20 cycles at
+    /// 4 GHz ≈ 12.8 GB/s; 80 cycles ≈ 3.2 GB/s (the DPC-2 low-BW variant).
+    pub transfer_cycles: u64,
+    /// Bank occupancy of a column command to an open row (tCCD; core
+    /// cycles). Same-row accesses pipeline at this rate even though each
+    /// still takes `row_hit_latency` to return data.
+    pub column_cycles: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self {
+            channels: 1,
+            banks: 8,
+            row_bytes: 4096,
+            row_hit_latency: 50,
+            row_miss_latency: 130,
+            transfer_cycles: 20,
+            column_cycles: 6,
+        }
+    }
+}
+
+impl DramConfig {
+    /// Effective peak bandwidth in GB/s assuming a 4 GHz core clock.
+    pub fn peak_bandwidth_gbps(&self) -> f64 {
+        let bytes_per_cycle =
+            self.channels as f64 * crate::addr::BLOCK_SIZE as f64 / self.transfer_cycles as f64;
+        bytes_per_cycle * 4.0 // 4e9 cycles/s * bytes/cycle = bytes/s; /1e9 => GB/s
+    }
+}
+
+/// Prefetch-path parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefetchConfig {
+    /// Maximum prefetches accepted from the prefetcher per trigger.
+    pub queue_size: usize,
+    /// Maximum prefetches issued to the memory system per cycle.
+    pub issue_per_cycle: usize,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        Self { queue_size: 32, issue_per_cycle: 2 }
+    }
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// Core pipeline.
+    pub core: CoreConfig,
+    /// Private per-core L1 data cache.
+    pub l1d: CacheConfig,
+    /// Private per-core L2.
+    pub l2: CacheConfig,
+    /// Shared last-level cache (total, across all cores).
+    pub llc: CacheConfig,
+    /// Shared DRAM.
+    pub dram: DramConfig,
+    /// Prefetch path.
+    pub prefetch: PrefetchConfig,
+}
+
+impl SystemConfig {
+    /// The paper's default single-core configuration: 2 MB LLC, single
+    /// 12.8 GB/s DRAM channel.
+    pub fn single_core() -> Self {
+        Self::multi_core(1)
+    }
+
+    /// N-core configuration with 2 MB LLC per core (8 MB for 4 cores,
+    /// 16 MB for 8 cores), one shared DRAM channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    pub fn multi_core(cores: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        Self {
+            cores,
+            core: CoreConfig::default(),
+            l1d: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                latency: 4,
+                mshrs: 8,
+                policy: ReplacementPolicy::Lru,
+            },
+            l2: CacheConfig {
+                size_bytes: 512 * 1024,
+                ways: 8,
+                latency: 10,
+                mshrs: 32,
+                policy: ReplacementPolicy::Lru,
+            },
+            llc: CacheConfig {
+                size_bytes: 2 * 1024 * 1024 * cores as u64,
+                ways: 16,
+                latency: 20,
+                mshrs: 64 * cores,
+                policy: ReplacementPolicy::Lru,
+            },
+            dram: DramConfig::default(),
+            prefetch: PrefetchConfig::default(),
+        }
+    }
+
+    /// DPC-2 "low bandwidth" variant: DRAM limited to 3.2 GB/s.
+    pub fn low_bandwidth() -> Self {
+        let mut c = Self::single_core();
+        c.dram.transfer_cycles = 80;
+        c
+    }
+
+    /// DPC-2 "small LLC" variant: LLC reduced to 512 KB.
+    pub fn small_llc() -> Self {
+        let mut c = Self::single_core();
+        c.llc.size_bytes = 512 * 1024;
+        c
+    }
+
+    /// Renders the configuration as the paper's Table 1.
+    pub fn table1(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("{:<22} {}\n", "Cores", self.cores));
+        s.push_str(&format!(
+            "{:<22} {}-wide fetch, {}-wide retire, {}-entry ROB\n",
+            "Core", self.core.fetch_width, self.core.retire_width, self.core.rob_size
+        ));
+        for (name, c) in [("L1D", &self.l1d), ("L2", &self.l2), ("LLC (shared)", &self.llc)] {
+            s.push_str(&format!(
+                "{:<22} {} KB, {}-way, {}-cycle, {} MSHRs\n",
+                name,
+                c.size_bytes / 1024,
+                c.ways,
+                c.latency,
+                c.mshrs
+            ));
+        }
+        s.push_str(&format!(
+            "{:<22} {} channel(s), {} banks, {:.1} GB/s, row hit/miss {}/{} cycles\n",
+            "DRAM",
+            self.dram.channels,
+            self.dram.banks,
+            self.dram.peak_bandwidth_gbps(),
+            self.dram.row_hit_latency,
+            self.dram.row_miss_latency
+        ));
+        s.push_str(&format!("{:<22} 64 B blocks, 4 KB pages, LRU replacement\n", "Memory"));
+        s.push_str(&format!(
+            "{:<22} triggered on L2 demand access, fills L2 or LLC, no L1 prefetch\n",
+            "Prefetching"
+        ));
+        s
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::single_core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_sane() {
+        let c = SystemConfig::single_core();
+        assert_eq!(c.l1d.sets(), 64);
+        assert_eq!(c.l2.sets(), 1024);
+        assert_eq!(c.llc.sets(), 2048);
+    }
+
+    #[test]
+    fn multicore_scales_llc() {
+        let c4 = SystemConfig::multi_core(4);
+        assert_eq!(c4.llc.size_bytes, 8 * 1024 * 1024);
+        let c8 = SystemConfig::multi_core(8);
+        assert_eq!(c8.llc.size_bytes, 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        let d = DramConfig::default();
+        assert!((d.peak_bandwidth_gbps() - 12.8).abs() < 1e-9);
+        let low = SystemConfig::low_bandwidth();
+        assert!((low.dram.peak_bandwidth_gbps() - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_llc_variant() {
+        assert_eq!(SystemConfig::small_llc().llc.size_bytes, 512 * 1024);
+        // Geometry must still be valid.
+        assert_eq!(SystemConfig::small_llc().llc.sets(), 512);
+    }
+
+    #[test]
+    fn table1_mentions_key_parameters() {
+        let t = SystemConfig::multi_core(4).table1();
+        assert!(t.contains("8192 KB"));
+        assert!(t.contains("12.8 GB/s"));
+        assert!(t.contains("LRU"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        SystemConfig::multi_core(0);
+    }
+}

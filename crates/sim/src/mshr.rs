@@ -1,0 +1,238 @@
+//! Miss-status holding registers.
+//!
+//! An MSHR file tracks blocks with an outstanding fill. Demands merging into
+//! an in-flight *prefetch* MSHR are how "late but useful" prefetches are
+//! detected — the paper counts these toward prefetch usefulness because the
+//! demand still waits less than a full memory round trip.
+
+use std::collections::HashMap;
+
+/// Who initiated the outstanding miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissOrigin {
+    /// A demand load/store.
+    Demand,
+    /// A prefetch.
+    Prefetch,
+}
+
+/// An outstanding miss.
+#[derive(Debug, Clone)]
+pub struct MshrEntry {
+    /// Cycle the fill will complete.
+    pub ready_at: u64,
+    /// Demand or prefetch.
+    pub origin: MissOrigin,
+    /// ROB slots waiting on this fill, with the cycle each started waiting.
+    pub waiters: Vec<(u64, u64)>,
+    /// A demand merged into this entry while it was a prefetch.
+    pub demand_merged: bool,
+    /// Some merged request was a store (fill must be dirty).
+    pub write: bool,
+    /// This entry was counted against the owner's demand-load window.
+    pub counted_demand: bool,
+    /// Core that created the entry (for prefetch attribution at shared levels).
+    pub owner: usize,
+}
+
+/// A bounded file of outstanding misses, keyed by block number.
+#[derive(Debug)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: HashMap<u64, MshrEntry>,
+}
+
+/// Outcome of trying to allocate an MSHR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrAlloc {
+    /// New entry created.
+    Allocated,
+    /// Merged into an existing entry for the same block; the payload is the
+    /// cycle the earlier request will complete.
+    Merged(u64),
+    /// File full; the request must retry (demand) or drop (prefetch).
+    Full,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs capacity");
+        Self { capacity, entries: HashMap::with_capacity(capacity) }
+    }
+
+    /// Number of in-flight entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no miss is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the file is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Looks up an in-flight entry.
+    pub fn get(&self, block: u64) -> Option<&MshrEntry> {
+        self.entries.get(&block)
+    }
+
+    /// Mutable lookup of an in-flight entry.
+    pub fn get_mut(&mut self, block: u64) -> Option<&mut MshrEntry> {
+        self.entries.get_mut(&block)
+    }
+
+    /// Tries to allocate (or merge) an entry for `block` completing at
+    /// `ready_at`. On a merge the existing completion time wins and, if the
+    /// newcomer is a demand merging into a prefetch, the entry is flagged.
+    pub fn allocate(
+        &mut self,
+        block: u64,
+        ready_at: u64,
+        origin: MissOrigin,
+        write: bool,
+        owner: usize,
+    ) -> MshrAlloc {
+        if let Some(e) = self.entries.get_mut(&block) {
+            if origin == MissOrigin::Demand && e.origin == MissOrigin::Prefetch {
+                e.demand_merged = true;
+            }
+            e.write |= write;
+            return MshrAlloc::Merged(e.ready_at);
+        }
+        if self.is_full() {
+            return MshrAlloc::Full;
+        }
+        self.entries.insert(
+            block,
+            MshrEntry {
+                ready_at,
+                origin,
+                waiters: Vec::new(),
+                demand_merged: false,
+                write,
+                owner,
+                counted_demand: false,
+            },
+        );
+        MshrAlloc::Allocated
+    }
+
+    /// Pulls an in-flight entry's completion earlier (demand merged into a
+    /// prefetch: the controller promotes the request to demand priority).
+    /// The new time never moves later and never before `floor`.
+    pub fn promote(&mut self, block: u64, credit: u64, floor: u64) {
+        if let Some(e) = self.entries.get_mut(&block) {
+            e.ready_at = e.ready_at.saturating_sub(credit).max(floor).min(e.ready_at);
+        }
+    }
+
+    /// Registers a ROB waiter on an in-flight block, noting when the wait
+    /// began (for latency accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block has no entry (callers allocate first).
+    pub fn add_waiter(&mut self, block: u64, seq: u64, since: u64) {
+        self.entries.get_mut(&block).expect("waiter on missing MSHR").waiters.push((seq, since));
+    }
+
+    /// Removes and returns all entries whose fill completes at or before
+    /// `cycle`, in deterministic (block-number) order.
+    pub fn drain_ready(&mut self, cycle: u64) -> Vec<(u64, MshrEntry)> {
+        let mut ready: Vec<u64> =
+            self.entries.iter().filter(|(_, e)| e.ready_at <= cycle).map(|(&b, _)| b).collect();
+        ready.sort_unstable();
+        ready
+            .into_iter()
+            .map(|b| {
+                let e = self.entries.remove(&b).expect("just found");
+                (b, e)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_then_full() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.allocate(1, 10, MissOrigin::Demand, false, 0), MshrAlloc::Allocated);
+        assert_eq!(m.allocate(2, 11, MissOrigin::Demand, false, 0), MshrAlloc::Allocated);
+        assert_eq!(m.allocate(3, 12, MissOrigin::Demand, false, 0), MshrAlloc::Full);
+        assert!(m.is_full());
+    }
+
+    #[test]
+    fn merge_keeps_original_time() {
+        let mut m = MshrFile::new(2);
+        m.allocate(5, 100, MissOrigin::Prefetch, false, 0);
+        assert_eq!(m.allocate(5, 200, MissOrigin::Demand, true, 0), MshrAlloc::Merged(100));
+        assert!(m.get(5).unwrap().demand_merged);
+        assert!(m.get(5).unwrap().write);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn prefetch_merging_into_demand_not_flagged() {
+        let mut m = MshrFile::new(2);
+        m.allocate(5, 100, MissOrigin::Demand, false, 0);
+        m.allocate(5, 120, MissOrigin::Prefetch, false, 0);
+        assert!(!m.get(5).unwrap().demand_merged);
+    }
+
+    #[test]
+    fn drain_ready_in_order() {
+        let mut m = MshrFile::new(8);
+        m.allocate(9, 50, MissOrigin::Demand, false, 0);
+        m.allocate(3, 40, MissOrigin::Demand, false, 0);
+        m.allocate(7, 60, MissOrigin::Demand, false, 0);
+        let done = m.drain_ready(55);
+        let blocks: Vec<u64> = done.iter().map(|(b, _)| *b).collect();
+        assert_eq!(blocks, vec![3, 9]);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn waiters_accumulate() {
+        let mut m = MshrFile::new(2);
+        m.allocate(4, 30, MissOrigin::Demand, false, 0);
+        m.add_waiter(4, 11, 5);
+        m.add_waiter(4, 12, 6);
+        let done = m.drain_ready(30);
+        assert_eq!(done[0].1.waiters, vec![(11, 5), (12, 6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "waiter on missing MSHR")]
+    fn waiter_requires_entry() {
+        MshrFile::new(1).add_waiter(9, 0, 0);
+    }
+
+    #[test]
+    fn promote_moves_completion_earlier_bounded() {
+        let mut m = MshrFile::new(2);
+        m.allocate(5, 500, MissOrigin::Prefetch, false, 0);
+        m.promote(5, 80, 100);
+        assert_eq!(m.get(5).unwrap().ready_at, 420);
+        // Floor binds.
+        m.promote(5, 1000, 100);
+        assert_eq!(m.get(5).unwrap().ready_at, 100);
+        // Never moves later.
+        m.promote(5, 0, 999);
+        assert_eq!(m.get(5).unwrap().ready_at, 100);
+        // Missing block is a no-op.
+        m.promote(42, 80, 0);
+    }
+}

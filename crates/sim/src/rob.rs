@@ -1,0 +1,176 @@
+//! A minimal reorder buffer: in-order dispatch, out-of-order completion,
+//! in-order retirement.
+//!
+//! Entries are identified by a monotonically increasing sequence number so
+//! MSHR waiter lists can wake them when fills arrive.
+
+use std::collections::VecDeque;
+
+/// Completion marker for an entry still waiting on memory.
+pub const PENDING: u64 = u64::MAX;
+
+/// The reorder buffer of one core.
+#[derive(Debug, Clone)]
+pub struct Rob {
+    entries: VecDeque<u64>,
+    head_seq: u64,
+    capacity: usize,
+}
+
+impl Rob {
+    /// Creates a ROB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ROB needs capacity");
+        Self { entries: VecDeque::with_capacity(capacity), head_seq: 0, capacity }
+    }
+
+    /// Whether another instruction can be dispatched.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Number of in-flight entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ROB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Dispatches an instruction completing at `complete_cycle` (use
+    /// [`PENDING`] for memory ops waiting on a fill). Returns its sequence
+    /// number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ROB is full.
+    pub fn push(&mut self, complete_cycle: u64) -> u64 {
+        assert!(self.has_space(), "ROB overflow");
+        let seq = self.head_seq + self.entries.len() as u64;
+        self.entries.push_back(complete_cycle);
+        seq
+    }
+
+    /// Marks a pending entry complete at `cycle`. Ignores already-retired
+    /// sequence numbers (a fill can arrive after a flushed/retired entry in
+    /// degenerate cases).
+    pub fn complete(&mut self, seq: u64, cycle: u64) {
+        if seq < self.head_seq {
+            return;
+        }
+        let idx = (seq - self.head_seq) as usize;
+        if let Some(e) = self.entries.get_mut(idx) {
+            *e = cycle;
+        }
+    }
+
+    /// Returns the completion cycle recorded for `seq`, if it is still in
+    /// flight (`None` once retired).
+    pub fn completion_of(&self, seq: u64) -> Option<u64> {
+        if seq < self.head_seq {
+            return None;
+        }
+        self.entries.get((seq - self.head_seq) as usize).copied()
+    }
+
+    /// Retires up to `width` completed instructions from the head at `cycle`;
+    /// returns how many retired.
+    pub fn retire(&mut self, cycle: u64, width: u32) -> u32 {
+        let mut n = 0;
+        while n < width {
+            match self.entries.front() {
+                Some(&c) if c <= cycle => {
+                    self.entries.pop_front();
+                    self.head_seq += 1;
+                    n += 1;
+                }
+                _ => break,
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inorder_retire_blocks_on_pending() {
+        let mut rob = Rob::new(4);
+        rob.push(5);
+        let seq = rob.push(PENDING);
+        rob.push(5);
+        // At cycle 10: first retires, second blocks the third.
+        assert_eq!(rob.retire(10, 4), 1);
+        rob.complete(seq, 9);
+        assert_eq!(rob.retire(10, 4), 2);
+        assert!(rob.is_empty());
+    }
+
+    #[test]
+    fn retire_width_respected() {
+        let mut rob = Rob::new(8);
+        for _ in 0..8 {
+            rob.push(0);
+        }
+        assert_eq!(rob.retire(1, 4), 4);
+        assert_eq!(rob.retire(1, 4), 4);
+    }
+
+    #[test]
+    fn seq_numbers_are_stable_across_retirement() {
+        let mut rob = Rob::new(4);
+        rob.push(0);
+        rob.push(0);
+        rob.retire(1, 2);
+        let seq = rob.push(PENDING);
+        assert_eq!(seq, 2);
+        rob.complete(seq, 7);
+        assert_eq!(rob.completion_of(seq), Some(7));
+    }
+
+    #[test]
+    fn complete_on_retired_seq_is_ignored() {
+        let mut rob = Rob::new(4);
+        let seq = rob.push(0);
+        rob.retire(1, 1);
+        rob.complete(seq, 100); // must not panic or corrupt
+        assert!(rob.is_empty());
+    }
+
+    #[test]
+    fn completion_of_future_retired() {
+        let mut rob = Rob::new(2);
+        let s = rob.push(3);
+        assert_eq!(rob.completion_of(s), Some(3));
+        rob.retire(3, 1);
+        assert_eq!(rob.completion_of(s), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ROB overflow")]
+    fn overflow_panics() {
+        let mut rob = Rob::new(1);
+        rob.push(0);
+        rob.push(0);
+    }
+
+    #[test]
+    fn space_accounting() {
+        let mut rob = Rob::new(2);
+        assert!(rob.has_space());
+        rob.push(0);
+        rob.push(0);
+        assert!(!rob.has_space());
+        rob.retire(0, 1);
+        assert!(rob.has_space());
+        assert_eq!(rob.len(), 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Simulation statistics and reports.
+
+use crate::cache::CacheStats;
+use crate::dram::DramStats;
+
+/// Prefetch-path counters for one core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Requests produced by the prefetcher (before any filtering/dedup).
+    pub emitted: u64,
+    /// Requests actually sent to the memory system.
+    pub issued: u64,
+    /// Dropped: target block already cached or in flight.
+    pub dropped_redundant: u64,
+    /// Dropped: MSHRs full.
+    pub dropped_mshr: u64,
+    /// Dropped: prefetch queue overflow.
+    pub dropped_queue: u64,
+    /// Prefetched blocks that received a demand hit (first use), including
+    /// late prefetches that a demand merged into while in flight.
+    pub useful: u64,
+    /// Demands that merged into an in-flight prefetch ("late" prefetches).
+    pub late: u64,
+    /// Total remaining cycles demands waited on in-flight prefetches.
+    pub late_wait_cycles: u64,
+}
+
+impl PrefetchStats {
+    /// Average cycles a demand still had to wait when it merged into an
+    /// in-flight prefetch (0 = perfectly timely).
+    pub fn avg_late_wait(&self) -> f64 {
+        if self.late == 0 {
+            return 0.0;
+        }
+        self.late_wait_cycles as f64 / self.late as f64
+    }
+
+    /// Accuracy as the paper defines it: useful / issued.
+    pub fn accuracy(&self) -> f64 {
+        if self.issued == 0 {
+            return 0.0;
+        }
+        self.useful as f64 / self.issued as f64
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Per-core results for the measurement region.
+#[derive(Debug, Clone)]
+pub struct CoreReport {
+    /// Workload name driven on this core.
+    pub workload: String,
+    /// Instructions retired in the measurement region.
+    pub instructions: u64,
+    /// Cycles the core took to retire them.
+    pub cycles: u64,
+    /// L1D counters.
+    pub l1d: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// Prefetch-path counters.
+    pub prefetch: PrefetchStats,
+    /// Number of load misses that waited on an L2 MSHR fill.
+    pub load_miss_waits: u64,
+    /// Total cycles those loads waited.
+    pub load_miss_wait_cycles: u64,
+    /// Windowed IPC samples over the measurement region (one per
+    /// [`IPC_SAMPLE_WINDOW`] instructions), for phase analysis.
+    pub ipc_samples: Vec<f64>,
+}
+
+/// Instructions per windowed-IPC sample in [`CoreReport::ipc_samples`].
+pub const IPC_SAMPLE_WINDOW: u64 = 50_000;
+
+impl CoreReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.instructions as f64 / self.cycles as f64
+    }
+
+    /// Average cycles a missing load waited for its fill.
+    pub fn avg_load_miss_wait(&self) -> f64 {
+        if self.load_miss_waits == 0 {
+            return 0.0;
+        }
+        self.load_miss_wait_cycles as f64 / self.load_miss_waits as f64
+    }
+
+    /// L2 demand misses per kilo-instruction.
+    pub fn l2_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.l2.demand_misses() as f64 * 1000.0 / self.instructions as f64
+    }
+}
+
+/// Whole-simulation results for the measurement region.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// One report per core.
+    pub cores: Vec<CoreReport>,
+    /// Shared-LLC counters.
+    pub llc: CacheStats,
+    /// DRAM counters.
+    pub dram: DramStats,
+    /// Total cycles simulated in the measurement region (max over cores).
+    pub total_cycles: u64,
+}
+
+impl SimReport {
+    /// IPC of core 0 (convenience for single-core studies).
+    pub fn ipc(&self) -> f64 {
+        self.cores.first().map(CoreReport::ipc).unwrap_or(0.0)
+    }
+
+    /// LLC demand misses per kilo-instruction, aggregated over cores.
+    pub fn llc_mpki(&self) -> f64 {
+        let instr: u64 = self.cores.iter().map(|c| c.instructions).sum();
+        if instr == 0 {
+            return 0.0;
+        }
+        self.llc.demand_misses() as f64 * 1000.0 / instr as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_guards_division() {
+        let s = PrefetchStats::default();
+        assert_eq!(s.accuracy(), 0.0);
+        let s = PrefetchStats { issued: 10, useful: 7, ..Default::default() };
+        assert!((s.accuracy() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_and_mpki() {
+        let l2 = CacheStats { demand_accesses: 100, demand_hits: 40, ..CacheStats::default() };
+        let c = CoreReport {
+            workload: "w".into(),
+            instructions: 2000,
+            cycles: 1000,
+            l1d: CacheStats::default(),
+            l2,
+            prefetch: PrefetchStats::default(),
+            load_miss_waits: 4,
+            load_miss_wait_cycles: 400,
+            ipc_samples: Vec::new(),
+        };
+        assert!((c.ipc() - 2.0).abs() < 1e-12);
+        assert!((c.l2_mpki() - 30.0).abs() < 1e-12);
+        assert!((c.avg_load_miss_wait() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = SimReport {
+            cores: vec![],
+            llc: CacheStats::default(),
+            dram: DramStats::default(),
+            total_cycles: 0,
+        };
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.llc_mpki(), 0.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! System-level property tests: whole-simulation invariants under random
+//! workload shapes and prefetcher behaviours.
+
+use ppf_sim::{
+    run_single_core, AccessContext, FillLevel, NoPrefetcher, Prefetcher, PrefetchRequest,
+    SystemConfig,
+};
+use ppf_trace::{AccessPattern, Interleave, PointerChase, SequentialStream, TraceRecord};
+use proptest::prelude::*;
+
+/// A randomized prefetcher: emits 0..=3 requests at arbitrary nearby
+/// offsets and fill levels. Used to check that *no* prefetcher behaviour,
+/// however silly, can break the simulator's accounting.
+struct ChaosPrefetcher {
+    state: u64,
+}
+
+impl Prefetcher for ChaosPrefetcher {
+    fn on_demand_access(&mut self, ctx: &AccessContext, out: &mut Vec<PrefetchRequest>) {
+        // xorshift for deterministic "randomness"
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        let n = self.state % 4;
+        for k in 0..n {
+            let delta = ((self.state >> (8 + k * 8)) % 128) as i64 - 64;
+            let target = ctx.addr as i64 + delta * 64;
+            if target > 0 {
+                let fill = if (self.state >> (3 + k)) & 1 == 1 {
+                    FillLevel::L2
+                } else {
+                    FillLevel::Llc
+                };
+                out.push(PrefetchRequest::new(target as u64, fill));
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+}
+
+fn mixed_workload(seed: u64, streams: u64, work: u8) -> Box<dyn AccessPattern> {
+    let mut parts: Vec<(Box<dyn AccessPattern>, u32)> = Vec::new();
+    for i in 0..streams {
+        parts.push((
+            Box::new(SequentialStream::new(
+                0x1000_0000 + i * 0x100_0000,
+                4096,
+                0x400000 + i * 64,
+                work,
+            )) as _,
+            1,
+        ));
+    }
+    parts.push((
+        Box::new(PointerChase::new(0x9000_0000, 4096, 64, 0x410000, work, seed)) as _,
+        1,
+    ));
+    Box::new(Interleave::new(parts))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whatever the workload shape, the simulation terminates, retires at
+    /// least the requested instructions, and reports an IPC within the
+    /// machine's physical limits.
+    #[test]
+    fn simulation_within_physical_limits(seed in any::<u64>(), streams in 1u64..6, work in 0u8..40) {
+        let r = run_single_core(
+            SystemConfig::single_core(),
+            "prop",
+            mixed_workload(seed, streams, work),
+            Box::new(NoPrefetcher),
+            2_000,
+            20_000,
+        );
+        let c = &r.cores[0];
+        prop_assert!(c.instructions >= 20_000);
+        prop_assert!(c.ipc() > 0.0);
+        prop_assert!(c.ipc() <= 4.0 + 1e-9, "retire width exceeded: {}", c.ipc());
+        // Hierarchy conservation: every L2 access was an L1 miss.
+        prop_assert_eq!(c.l2.demand_accesses, c.l1d.demand_misses());
+        // The LLC cannot see more demand traffic than the L2 missed. (The
+        // shared-LLC counters are snapshotted a tick later than the core's,
+        // so allow the width of one dispatch group.)
+        prop_assert!(
+            r.llc.demand_accesses <= c.l2.demand_misses() + 8,
+            "LLC {} vs L2 misses {}",
+            r.llc.demand_accesses,
+            c.l2.demand_misses()
+        );
+    }
+
+    /// A chaotic prefetcher can waste bandwidth but can never break
+    /// accounting invariants or deadlock the machine.
+    #[test]
+    fn chaos_prefetcher_cannot_corrupt(seed in any::<u64>()) {
+        let r = run_single_core(
+            SystemConfig::single_core(),
+            "chaos",
+            mixed_workload(seed, 3, 4),
+            Box::new(ChaosPrefetcher { state: seed | 1 }),
+            2_000,
+            20_000,
+        );
+        let c = &r.cores[0];
+        prop_assert!(c.instructions >= 20_000);
+        let p = &c.prefetch;
+        prop_assert!(p.issued <= p.emitted);
+        prop_assert!(
+            p.dropped_queue + p.dropped_redundant + p.dropped_mshr <= p.emitted,
+            "drops exceed emissions"
+        );
+        // Useful prefetches need an issued prefetch somewhere (warmup-reset
+        // slack allows a small overhang).
+        prop_assert!(p.useful <= p.issued + 2_000);
+    }
+
+    /// Two identical configurations produce bit-identical reports, whatever
+    /// the seed (whole-system determinism).
+    #[test]
+    fn determinism_holds_for_any_seed(seed in any::<u64>()) {
+        let run = || {
+            run_single_core(
+                SystemConfig::single_core(),
+                "det",
+                mixed_workload(seed, 2, 6),
+                Box::new(ChaosPrefetcher { state: seed | 1 }),
+                1_000,
+                10_000,
+            )
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.cores[0].cycles, b.cores[0].cycles);
+        prop_assert_eq!(a.cores[0].prefetch, b.cores[0].prefetch);
+        prop_assert_eq!(a.dram.reads, b.dram.reads);
+        prop_assert_eq!(a.llc, b.llc);
+    }
+
+    /// The trace's dependence bits matter: serializing every load cannot be
+    /// faster than the same stream without dependences.
+    #[test]
+    fn dependence_never_speeds_up(seed in any::<u64>()) {
+        struct DepToggle {
+            inner: Box<dyn AccessPattern>,
+            strip: bool,
+        }
+        impl AccessPattern for DepToggle {
+            fn next_record(&mut self) -> TraceRecord {
+                let mut r = self.inner.next_record();
+                if self.strip {
+                    r.dependent = false;
+                }
+                r
+            }
+        }
+        let mk = |strip| {
+            run_single_core(
+                SystemConfig::single_core(),
+                "dep",
+                Box::new(DepToggle {
+                    inner: Box::new(PointerChase::new(0x9000_0000, 1 << 15, 64, 0x400000, 2, seed)),
+                    strip,
+                }),
+                Box::new(NoPrefetcher),
+                1_000,
+                10_000,
+            )
+        };
+        let dependent = mk(false);
+        let independent = mk(true);
+        prop_assert!(
+            dependent.ipc() <= independent.ipc() * 1.05,
+            "dependent {} cannot beat independent {}",
+            dependent.ipc(),
+            independent.ipc()
+        );
+    }
+}

@@ -1,0 +1,340 @@
+//! Trace serialization: record a generator's output to a compact binary
+//! file and replay it later (or feed externally captured traces into the
+//! simulator).
+//!
+//! # Format (`PPFT` version 1)
+//!
+//! A 8-byte header (`b"PPFT\x01\0\0\0"`) followed by fixed-size 19-byte
+//! little-endian records:
+//!
+//! | bytes | field |
+//! |-------|-------|
+//! | 0..8  | `pc`  |
+//! | 8..16 | `addr` |
+//! | 16    | flags: bit0 = store, bit1 = dependent |
+//! | 17    | `work` |
+//! | 18    | reserved (0) |
+//!
+//! The format is deliberately trivial so external tools (e.g. a Pin or
+//! ChampSim trace converter) can produce it with a dozen lines of code.
+
+use crate::pattern::AccessPattern;
+use crate::record::{AccessKind, TraceRecord};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: [u8; 8] = *b"PPFT\x01\0\0\0";
+const RECORD_BYTES: usize = 19;
+
+/// Writes `count` records from `source` to `path`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from creating or writing the file.
+pub fn record_trace<P: AccessPattern + ?Sized>(
+    path: &Path,
+    source: &mut P,
+    count: u64,
+) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&MAGIC)?;
+    let mut buf = [0u8; RECORD_BYTES];
+    for _ in 0..count {
+        let r = source.next_record();
+        buf[0..8].copy_from_slice(&r.pc.to_le_bytes());
+        buf[8..16].copy_from_slice(&r.addr.to_le_bytes());
+        buf[16] = u8::from(r.kind == AccessKind::Store) | (u8::from(r.dependent) << 1);
+        buf[17] = r.work;
+        buf[18] = 0;
+        w.write_all(&buf)?;
+    }
+    w.flush()
+}
+
+/// A trace loaded from disk.
+///
+/// Replays the recorded records in order; as an [`AccessPattern`] it loops
+/// back to the beginning when exhausted (simulations need endless streams —
+/// use [`TraceFile::len`] to size runs within one pass if looping is not
+/// wanted).
+#[derive(Debug, Clone)]
+pub struct TraceFile {
+    records: Vec<TraceRecord>,
+    cursor: usize,
+    wrapped: bool,
+}
+
+impl TraceFile {
+    /// Loads a trace from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a bad magic header, or a truncated record.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a PPFT v1 trace"));
+        }
+        let mut records = Vec::new();
+        let mut buf = [0u8; RECORD_BYTES];
+        loop {
+            match r.read_exact(&mut buf) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(e),
+            }
+            let pc = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+            let addr = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+            let kind = if buf[16] & 1 == 1 { AccessKind::Store } else { AccessKind::Load };
+            let dependent = buf[16] & 2 == 2;
+            records.push(TraceRecord { pc, addr, kind, work: buf[17], dependent });
+        }
+        if records.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "empty trace"));
+        }
+        Ok(Self { records, cursor: 0, wrapped: false })
+    }
+
+    /// Number of records in the file.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace holds no records (never true for an opened file).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Whether replay has looped past the end at least once.
+    pub fn wrapped(&self) -> bool {
+        self.wrapped
+    }
+}
+
+impl AccessPattern for TraceFile {
+    fn next_record(&mut self) -> TraceRecord {
+        if self.cursor == self.records.len() {
+            self.cursor = 0;
+            self.wrapped = true;
+        }
+        let r = self.records[self.cursor];
+        self.cursor += 1;
+        r
+    }
+}
+
+/// Writes `count` records from `source` as CSV text
+/// (`pc,addr,kind,work,dependent` with hex addresses), the format external
+/// tools can most easily produce by hand.
+///
+/// # Errors
+///
+/// Propagates any I/O error.
+pub fn record_trace_csv<P: AccessPattern + ?Sized>(
+    path: &Path,
+    source: &mut P,
+    count: u64,
+) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "pc,addr,kind,work,dependent")?;
+    for _ in 0..count {
+        let r = source.next_record();
+        writeln!(
+            w,
+            "{:#x},{:#x},{},{},{}",
+            r.pc,
+            r.addr,
+            if r.kind == AccessKind::Store { "store" } else { "load" },
+            r.work,
+            u8::from(r.dependent),
+        )?;
+    }
+    w.flush()
+}
+
+/// Loads a CSV trace written by [`record_trace_csv`] (or by an external
+/// tool following the same header).
+///
+/// # Errors
+///
+/// Fails on I/O errors, a missing header, or malformed fields (the error
+/// message names the offending line).
+pub fn load_trace_csv(path: &Path) -> io::Result<TraceFile> {
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    let bad = |line: usize, what: &str| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("line {line}: {what}"))
+    };
+    match lines.next() {
+        Some(h) if h.trim() == "pc,addr,kind,work,dependent" => {}
+        _ => return Err(bad(1, "missing CSV header")),
+    }
+    let parse_u64 = |s: &str| -> Option<u64> {
+        let s = s.trim();
+        if let Some(hex) = s.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            s.parse().ok()
+        }
+    };
+    let mut records = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let n = i + 2;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 5 {
+            return Err(bad(n, "expected 5 fields"));
+        }
+        let pc = parse_u64(fields[0]).ok_or_else(|| bad(n, "bad pc"))?;
+        let addr = parse_u64(fields[1]).ok_or_else(|| bad(n, "bad addr"))?;
+        let kind = match fields[2].trim() {
+            "load" => AccessKind::Load,
+            "store" => AccessKind::Store,
+            _ => return Err(bad(n, "kind must be load or store")),
+        };
+        let work: u8 =
+            fields[3].trim().parse().map_err(|_| bad(n, "bad work"))?;
+        let dependent = match fields[4].trim() {
+            "0" => false,
+            "1" => true,
+            _ => return Err(bad(n, "dependent must be 0 or 1")),
+        };
+        records.push(TraceRecord { pc, addr, kind, work, dependent });
+    }
+    if records.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty trace"));
+    }
+    Ok(TraceFile { records, cursor: 0, wrapped: false })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::SequentialStream;
+    use crate::workload::{TraceBuilder, Workload};
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ppf-trace-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let path = temp("roundtrip");
+        let mut src = SequentialStream::new(0x1000, 64, 0x400000, 3).with_stores_every(4);
+        let mut reference = SequentialStream::new(0x1000, 64, 0x400000, 3).with_stores_every(4);
+        record_trace(&path, &mut src, 200).expect("write");
+        let mut replay = TraceFile::open(&path).expect("open");
+        assert_eq!(replay.len(), 200);
+        for _ in 0..200 {
+            assert_eq!(replay.next_record(), reference.next_record());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_loops() {
+        let path = temp("loops");
+        let mut src = SequentialStream::new(0, 4, 0, 0);
+        record_trace(&path, &mut src, 4).expect("write");
+        let mut replay = TraceFile::open(&path).expect("open");
+        let first = replay.next_record();
+        for _ in 0..3 {
+            replay.next_record();
+        }
+        assert!(!replay.wrapped());
+        assert_eq!(replay.next_record(), first);
+        assert!(replay.wrapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn workload_roundtrip_with_dependence() {
+        let path = temp("mcf");
+        let w = Workload::by_name("605.mcf_s").expect("exists");
+        let mut gen = TraceBuilder::new(w.clone()).seed(7).shrink(5).build();
+        record_trace(&path, &mut gen, 500).expect("write");
+        let mut replay = TraceFile::open(&path).expect("open");
+        let mut reference = TraceBuilder::new(w).seed(7).shrink(5).build();
+        let mut saw_dependent = false;
+        for _ in 0..500 {
+            let a = replay.next_record();
+            assert_eq!(a, reference.next_record());
+            saw_dependent |= a.dependent;
+        }
+        assert!(saw_dependent, "mcf trace should carry dependence bits");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let path = temp("csv");
+        let mut src = SequentialStream::new(0x2000, 32, 0x400100, 5).with_stores_every(3);
+        let mut reference = SequentialStream::new(0x2000, 32, 0x400100, 5).with_stores_every(3);
+        record_trace_csv(&path, &mut src, 100).expect("write");
+        let mut replay = load_trace_csv(&path).expect("open");
+        assert_eq!(replay.len(), 100);
+        for _ in 0..100 {
+            assert_eq!(replay.next_record(), reference.next_record());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_rejects_malformed() {
+        let path = temp("csv-bad");
+        std::fs::write(&path, "pc,addr,kind,work,dependent
+0x1,0x2,fly,3,0
+").expect("write");
+        let err = load_trace_csv(&path).expect_err("bad kind");
+        assert!(err.to_string().contains("line 2"), "{err}");
+        std::fs::write(&path, "wrong header
+").expect("write");
+        assert!(load_trace_csv(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_accepts_decimal_and_blank_lines() {
+        let path = temp("csv-dec");
+        std::fs::write(
+            &path,
+            "pc,addr,kind,work,dependent
+4096,8192,load,7,1
+
+0x1000,0x2000,store,0,0
+",
+        )
+        .expect("write");
+        let mut t = load_trace_csv(&path).expect("open");
+        let a = t.next_record();
+        assert_eq!(a.pc, 4096);
+        assert!(a.dependent);
+        let b = t.next_record();
+        assert_eq!(b.addr, 0x2000);
+        assert_eq!(b.kind, AccessKind::Store);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = temp("garbage");
+        std::fs::write(&path, b"definitely not a trace").expect("write");
+        assert!(TraceFile::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let path = temp("empty");
+        std::fs::write(&path, MAGIC).expect("write");
+        assert!(TraceFile::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

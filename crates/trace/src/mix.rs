@@ -1,0 +1,113 @@
+//! Multi-programmed workload mixes (paper Sec 5.3).
+//!
+//! The paper evaluates 4- and 8-core systems on (a) random mixes over the
+//! full suite and (b) mixes drawn from the memory-intensive subset.
+//! [`MixGenerator`] reproduces that methodology deterministically.
+
+use crate::prng::SplitMix64;
+use crate::workload::Workload;
+
+/// One multi-programmed mix: a workload per core.
+#[derive(Debug, Clone)]
+pub struct WorkloadMix {
+    /// Mix identifier within its batch (0-based).
+    pub id: usize,
+    /// One workload per core, in core order.
+    pub workloads: Vec<Workload>,
+}
+
+impl WorkloadMix {
+    /// Number of cores the mix targets.
+    pub fn cores(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// A short human-readable label, e.g. `"mix03[605.mcf_s,...]"`.
+    pub fn label(&self) -> String {
+        let names: Vec<&str> = self.workloads.iter().map(|w| w.name()).collect();
+        format!("mix{:02}[{}]", self.id, names.join(","))
+    }
+}
+
+/// Deterministically draws multi-programmed mixes from a workload pool.
+#[derive(Debug)]
+pub struct MixGenerator {
+    pool: Vec<Workload>,
+    rng: SplitMix64,
+}
+
+impl MixGenerator {
+    /// Creates a generator over `pool` with the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` is empty.
+    pub fn new(pool: Vec<Workload>, seed: u64) -> Self {
+        assert!(!pool.is_empty(), "mix pool must not be empty");
+        Self { pool, rng: SplitMix64::new(seed) }
+    }
+
+    /// Draws `n_mixes` mixes of `cores` workloads each (with replacement,
+    /// matching the paper's random-mix methodology).
+    pub fn draw(&mut self, n_mixes: usize, cores: usize) -> Vec<WorkloadMix> {
+        (0..n_mixes)
+            .map(|id| {
+                let workloads = (0..cores)
+                    .map(|_| {
+                        let i = self.rng.next_below(self.pool.len() as u64) as usize;
+                        self.pool[i].clone()
+                    })
+                    .collect();
+                WorkloadMix { id, workloads }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Suite, Workload};
+
+    #[test]
+    fn draws_requested_shape() {
+        let pool = Workload::memory_intensive(Suite::Spec2017);
+        let mixes = MixGenerator::new(pool, 1).draw(10, 4);
+        assert_eq!(mixes.len(), 10);
+        assert!(mixes.iter().all(|m| m.cores() == 4));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let pool = Workload::spec2017();
+        let a = MixGenerator::new(pool.clone(), 9).draw(5, 8);
+        let b = MixGenerator::new(pool, 9).draw(5, 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.label(), y.label());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let pool = Workload::spec2017();
+        let a = MixGenerator::new(pool.clone(), 1).draw(8, 4);
+        let b = MixGenerator::new(pool, 2).draw(8, 4);
+        assert!(a.iter().zip(&b).any(|(x, y)| x.label() != y.label()));
+    }
+
+    #[test]
+    fn memory_intensive_pool_only_contains_intensive() {
+        let pool = Workload::memory_intensive(Suite::Spec2017);
+        let mixes = MixGenerator::new(pool, 3).draw(20, 4);
+        for m in &mixes {
+            assert!(m.workloads.iter().all(|w| w.is_memory_intensive()));
+        }
+    }
+
+    #[test]
+    fn label_format() {
+        let pool = vec![Workload::by_name("619.lbm_s").unwrap()];
+        let mixes = MixGenerator::new(pool, 0).draw(1, 2);
+        assert_eq!(mixes[0].label(), "mix00[619.lbm_s,619.lbm_s]");
+    }
+}

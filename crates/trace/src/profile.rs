@@ -1,0 +1,167 @@
+//! Workload-model profiling: measure the memory-behaviour characteristics a
+//! model claims to have (footprint, density, stride regularity, page-local
+//! delta entropy, dependence), so the DESIGN.md §4 substitution argument can
+//! be checked quantitatively instead of by assertion.
+
+use crate::pattern::AccessPattern;
+use crate::record::AccessKind;
+use std::collections::HashMap;
+
+/// Measured characteristics of a trace prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceProfile {
+    /// Records examined.
+    pub records: u64,
+    /// Total instructions represented (records + their compute work).
+    pub instructions: u64,
+    /// Distinct 4 KB pages touched.
+    pub distinct_pages: u64,
+    /// Distinct 64 B blocks touched.
+    pub distinct_blocks: u64,
+    /// Fraction of records that are stores.
+    pub store_fraction: f64,
+    /// Fraction of records carrying a dependence on the previous load.
+    pub dependent_fraction: f64,
+    /// Accesses per kilo-instruction (upper bound on any MPKI).
+    pub apki: f64,
+    /// Fraction of within-page deltas equal to the page's most common delta
+    /// (1.0 = perfectly strided pages, → 0 = high delta entropy).
+    pub dominant_delta_fraction: f64,
+    /// Shannon entropy (bits) of the within-page delta distribution.
+    pub delta_entropy_bits: f64,
+}
+
+impl TraceProfile {
+    /// Profiles the next `records` records of `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records == 0`.
+    pub fn measure<P: AccessPattern + ?Sized>(source: &mut P, records: u64) -> Self {
+        assert!(records > 0, "need records to profile");
+        let mut pages: HashMap<u64, u64> = HashMap::new(); // page -> last offset
+        let mut blocks = std::collections::HashSet::new();
+        let mut deltas: HashMap<i64, u64> = HashMap::new();
+        let mut instructions = 0u64;
+        let mut stores = 0u64;
+        let mut dependent = 0u64;
+
+        for _ in 0..records {
+            let r = source.next_record();
+            instructions += r.instruction_count();
+            stores += u64::from(r.kind == AccessKind::Store);
+            dependent += u64::from(r.dependent);
+            let page = r.addr >> 12;
+            let block = r.addr >> 6;
+            blocks.insert(block);
+            let offset = (block & 63) as i64;
+            if let Some(last) = pages.insert(page, offset as u64) {
+                let d = offset - last as i64;
+                if d != 0 {
+                    *deltas.entry(d).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let total_deltas: u64 = deltas.values().sum();
+        let dominant = deltas.values().copied().max().unwrap_or(0);
+        let entropy = if total_deltas == 0 {
+            0.0
+        } else {
+            deltas
+                .values()
+                .map(|&c| {
+                    let p = c as f64 / total_deltas as f64;
+                    -p * p.log2()
+                })
+                .sum::<f64>()
+                .max(0.0)
+        };
+
+        Self {
+            records,
+            instructions,
+            distinct_pages: pages.len() as u64,
+            distinct_blocks: blocks.len() as u64,
+            store_fraction: stores as f64 / records as f64,
+            dependent_fraction: dependent as f64 / records as f64,
+            apki: records as f64 * 1000.0 / instructions as f64,
+            dominant_delta_fraction: if total_deltas == 0 {
+                0.0
+            } else {
+                dominant as f64 / total_deltas as f64
+            },
+            delta_entropy_bits: entropy,
+        }
+    }
+
+    /// Approximate footprint in bytes (distinct blocks × 64).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.distinct_blocks * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{PointerChase, SequentialStream, StridedStream};
+    use crate::workload::{TraceBuilder, Workload};
+
+    #[test]
+    fn sequential_stream_profile() {
+        let mut s = SequentialStream::new(0x1000, 256, 0x400000, 9);
+        let p = TraceProfile::measure(&mut s, 256);
+        assert_eq!(p.distinct_blocks, 256);
+        assert_eq!(p.distinct_pages, 4);
+        assert_eq!(p.store_fraction, 0.0);
+        assert_eq!(p.dependent_fraction, 0.0);
+        // Pure unit stride: one dominant delta, zero entropy.
+        assert!((p.dominant_delta_fraction - 1.0).abs() < 1e-12);
+        assert_eq!(p.delta_entropy_bits, 0.0);
+        assert!((p.apki - 100.0).abs() < 1.0); // 1 access / 10 instr
+    }
+
+    #[test]
+    fn strided_profile_is_regular() {
+        let mut s = StridedStream::new(0, 64 * 1024, 192, 0x400000, 4);
+        let p = TraceProfile::measure(&mut s, 300);
+        assert!(p.dominant_delta_fraction > 0.9, "{p:?}");
+    }
+
+    #[test]
+    fn chase_profile_is_dependent_and_entropic() {
+        let mut c = PointerChase::new(0, 4096, 64, 0x400000, 4, 9);
+        let p = TraceProfile::measure(&mut c, 2000);
+        assert_eq!(p.dependent_fraction, 1.0);
+        assert!(p.delta_entropy_bits > 3.0, "random chase deltas: {p:?}");
+        assert!(p.dominant_delta_fraction < 0.3);
+    }
+
+    #[test]
+    fn workload_models_have_claimed_character() {
+        // bwaves (stencil): regular; mcf (chase-heavy): dependent + entropic.
+        let bwaves = Workload::by_name("603.bwaves_s").unwrap();
+        let mut g = TraceBuilder::new(bwaves).seed(1).build();
+        let pb = TraceProfile::measure(&mut g, 20_000);
+        assert!(pb.dominant_delta_fraction > 0.35, "bwaves: {pb:?}");
+        assert_eq!(pb.dependent_fraction, 0.0);
+
+        let mcf = Workload::by_name("605.mcf_s").unwrap();
+        let mut g = TraceBuilder::new(mcf).seed(1).build();
+        let pm = TraceProfile::measure(&mut g, 20_000);
+        assert!(pm.dependent_fraction > 0.3, "mcf: {pm:?}");
+        assert!(pm.delta_entropy_bits > pb.delta_entropy_bits, "mcf more entropic");
+    }
+
+    #[test]
+    fn memory_intensive_models_are_denser_or_bigger() {
+        let profile = |name: &str| {
+            let w = Workload::by_name(name).unwrap();
+            let mut g = TraceBuilder::new(w).seed(1).build();
+            TraceProfile::measure(&mut g, 20_000)
+        };
+        let lbm = profile("619.lbm_s");
+        let exchange = profile("648.exchange2_s");
+        assert!(lbm.footprint_bytes() > 10 * exchange.footprint_bytes());
+    }
+}

@@ -1,0 +1,83 @@
+//! Trace record types shared by the generator and the simulator.
+
+/// Whether a memory access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A demand load.
+    Load,
+    /// A store (write-allocate, non-blocking in the core model).
+    Store,
+}
+
+/// One memory instruction of a trace, plus the amount of non-memory work
+/// that precedes it.
+///
+/// A trace is a stream of `TraceRecord`s; the full instruction stream is
+/// reconstructed by the simulator as `work` single-cycle compute instructions
+/// followed by the memory instruction itself, so a record represents
+/// `work + 1` instructions in total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceRecord {
+    /// Program counter of the memory instruction (byte address).
+    pub pc: u64,
+    /// Virtual = physical byte address touched (the paper's infrastructure
+    /// operates prefetchers strictly in the physical address space).
+    pub addr: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Number of non-memory instructions preceding this access.
+    pub work: u8,
+    /// If `true`, this access consumes the value produced by the previous
+    /// *dependent* load (pointer chasing): the core may not issue it until
+    /// that load completes. Models latency-bound behaviour (e.g. `mcf`).
+    pub dependent: bool,
+}
+
+impl TraceRecord {
+    /// Convenience constructor for an independent load.
+    pub fn load(pc: u64, addr: u64, work: u8) -> Self {
+        Self { pc, addr, kind: AccessKind::Load, work, dependent: false }
+    }
+
+    /// Convenience constructor for a store.
+    pub fn store(pc: u64, addr: u64, work: u8) -> Self {
+        Self { pc, addr, kind: AccessKind::Store, work, dependent: false }
+    }
+
+    /// Marks the record as dependent on the previous dependent load.
+    pub fn with_dependency(mut self) -> Self {
+        self.dependent = true;
+        self
+    }
+
+    /// Total instructions this record stands for (`work` compute + 1 memory).
+    pub fn instruction_count(&self) -> u64 {
+        u64::from(self.work) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_constructor() {
+        let r = TraceRecord::load(0x400000, 0x1000, 3);
+        assert_eq!(r.kind, AccessKind::Load);
+        assert!(!r.dependent);
+        assert_eq!(r.instruction_count(), 4);
+    }
+
+    #[test]
+    fn store_constructor() {
+        let r = TraceRecord::store(0x400004, 0x2000, 0);
+        assert_eq!(r.kind, AccessKind::Store);
+        assert_eq!(r.instruction_count(), 1);
+    }
+
+    #[test]
+    fn dependency_marker() {
+        let r = TraceRecord::load(0, 0, 0).with_dependency();
+        assert!(r.dependent);
+    }
+}

@@ -1,0 +1,272 @@
+//! Cross-validation workload models (paper Sec 6.4).
+//!
+//! The paper validates PPF — tuned only on SPEC CPU 2017 — against SPEC CPU
+//! 2006 and the CRC-2 CloudSuite traces. We model a representative slice of
+//! each: twelve SPEC-2006-like applications (the memory-intensive classics
+//! plus a few compute-bound controls) and four CloudSuite-like server
+//! applications, each of which cycles through six distinct phases the way
+//! the CRC-2 traces do.
+
+use crate::pattern::{
+    AccessPattern, GupsRandom, HotRegionRandom, Interleave, PhaseAlternate, PointerChase,
+    RegionScan, SequentialStream, Stencil3d, StridedStream,
+};
+use crate::workload::{Suite, Workload};
+
+const HEAP: u64 = 0x5000_0000;
+const SLOT: u64 = 0x1000_0000;
+
+fn slot(i: u64) -> u64 {
+    HEAP + i * SLOT
+}
+
+fn pc_base(app: u64) -> u64 {
+    0x80_0000 + app * 0x1_0000
+}
+
+fn shrunk(v: u64, shrink: u32) -> u64 {
+    (v >> shrink).max(4)
+}
+
+// --- SPEC CPU 2006-like models ----------------------------------------------
+
+fn mcf06(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    let pc = pc_base(0);
+    Box::new(Interleave::new(vec![
+        (Box::new(PointerChase::new(slot(0), shrunk(1 << 18, sh) as u32, 64, pc, 24, seed ^ 21)) as _, 2),
+        (Box::new(SequentialStream::new(slot(1), shrunk(1 << 15, sh), pc + 0x100, 20)) as _, 2),
+    ]))
+}
+
+fn libquantum06(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // The canonical streaming benchmark: one giant unit-stride vector.
+    let _ = seed;
+    let pc = pc_base(1);
+    Box::new(SequentialStream::new(slot(0), shrunk(1 << 18, sh), pc, 80).with_stores_every(4))
+}
+
+fn milc06(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    let _ = seed;
+    let pc = pc_base(2);
+    let n = shrunk(160, sh);
+    Box::new(Interleave::new(vec![
+        (Box::new(Stencil3d::new(slot(0), n, n, 16, 16, pc, 22)) as _, 2),
+        (Box::new(SequentialStream::new(slot(1), shrunk(1 << 15, sh), pc + 0x100, 20)) as _, 1),
+    ]))
+}
+
+fn lbm06(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    let _ = seed;
+    let pc = pc_base(3);
+    let blocks = shrunk(1 << 16, sh);
+    Box::new(Interleave::new(vec![
+        (Box::new(SequentialStream::new(slot(0), blocks, pc, 28).with_stores_every(2)) as _, 1),
+        (Box::new(SequentialStream::new(slot(1), blocks, pc + 0x40, 28).with_stores_every(2)) as _, 1),
+        (Box::new(SequentialStream::new(slot(2), blocks, pc + 0x80, 28)) as _, 1),
+    ]))
+}
+
+fn soplex06(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    let pc = pc_base(4);
+    Box::new(Interleave::new(vec![
+        (Box::new(StridedStream::new(slot(0), shrunk(1 << 24, sh), 256, pc, 26)) as _, 2),
+        (Box::new(HotRegionRandom::new(slot(1), shrunk(1 << 14, sh), pc + 0x100, 24, seed ^ 22)) as _, 1),
+    ]))
+}
+
+fn sphinx06(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    let pc = pc_base(5);
+    Box::new(Interleave::new(vec![
+        (Box::new(SequentialStream::new(slot(0), shrunk(1 << 15, sh), pc, 26)) as _, 2),
+        (Box::new(HotRegionRandom::new(slot(1), shrunk(1 << 13, sh), pc + 0x100, 24, seed ^ 23)) as _, 1),
+    ]))
+}
+
+fn omnetpp06(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    let pc = pc_base(6);
+    Box::new(Interleave::new(vec![
+        (Box::new(PointerChase::new(slot(0), shrunk(1 << 16, sh) as u32, 128, pc, 28, seed ^ 24)) as _, 2),
+        (Box::new(HotRegionRandom::new(slot(1), shrunk(1 << 14, sh), pc + 0x100, 26, seed ^ 25)) as _, 1),
+    ]))
+}
+
+fn gemsfdtd06(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    let _ = seed;
+    let pc = pc_base(7);
+    let n = shrunk(192, sh);
+    Box::new(Stencil3d::new(slot(0), n, n, 24, 8, pc, 20))
+}
+
+fn astar06(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    let pc = pc_base(8);
+    Box::new(Interleave::new(vec![
+        (Box::new(PointerChase::new(slot(0), shrunk(1 << 15, sh) as u32, 64, pc, 7, seed ^ 26)) as _, 1),
+        (Box::new(HotRegionRandom::new(slot(1), shrunk(1 << 13, sh), pc + 0x100, 7, seed ^ 27)) as _, 1),
+    ]))
+}
+
+fn bzip06(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    let pc = pc_base(9);
+    Box::new(Interleave::new(vec![
+        (Box::new(HotRegionRandom::new(slot(0), shrunk(1 << 13, sh), pc, 9, seed ^ 28)) as _, 2),
+        (Box::new(SequentialStream::new(slot(1), shrunk(1 << 13, sh), pc + 0x100, 8)) as _, 1),
+    ]))
+}
+
+fn gobmk06(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    let pc = pc_base(10);
+    Box::new(Interleave::new(vec![
+        (Box::new(HotRegionRandom::new(slot(0), shrunk(2048, sh), pc, 15, seed ^ 29)) as _, 3),
+        (Box::new(SequentialStream::new(slot(1), shrunk(512, sh), pc + 0x100, 14)) as _, 1),
+    ]))
+}
+
+fn povray06(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    let pc = pc_base(11);
+    Box::new(Interleave::new(vec![
+        (Box::new(HotRegionRandom::new(slot(0), shrunk(1024, sh), pc, 18, seed ^ 30)) as _, 2),
+        (Box::new(PointerChase::new(slot(1), shrunk(1024, sh) as u32, 64, pc + 0x100, 16, seed ^ 31)) as _, 1),
+    ]))
+}
+
+/// SPEC CPU 2006-like validation models (twelve applications; the eight
+/// memory-intensive ones are flagged, mirroring the paper's 16-of-29 ratio).
+pub fn spec2006() -> Vec<Workload> {
+    vec![
+        Workload::from_parts("429.mcf", Suite::Spec2006, true, mcf06),
+        Workload::from_parts("462.libquantum", Suite::Spec2006, true, libquantum06),
+        Workload::from_parts("433.milc", Suite::Spec2006, true, milc06),
+        Workload::from_parts("470.lbm", Suite::Spec2006, true, lbm06),
+        Workload::from_parts("450.soplex", Suite::Spec2006, true, soplex06),
+        Workload::from_parts("482.sphinx3", Suite::Spec2006, true, sphinx06),
+        Workload::from_parts("471.omnetpp", Suite::Spec2006, true, omnetpp06),
+        Workload::from_parts("459.GemsFDTD", Suite::Spec2006, true, gemsfdtd06),
+        Workload::from_parts("473.astar", Suite::Spec2006, false, astar06),
+        Workload::from_parts("401.bzip2", Suite::Spec2006, false, bzip06),
+        Workload::from_parts("445.gobmk", Suite::Spec2006, false, gobmk06),
+        Workload::from_parts("453.povray", Suite::Spec2006, false, povray06),
+    ]
+}
+
+// --- CloudSuite-like models ---------------------------------------------------
+
+/// Builds one CloudSuite-like server app: six phases mixing large-code-like
+/// instruction-ish region scans, hash-table randoms, and bursts of streaming.
+fn server_app(app: u64, seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    let pc = pc_base(20 + app);
+    let mk_phase = |i: u64| -> Box<dyn AccessPattern> {
+        let s = seed ^ (0xC10D << 8) ^ (app << 4) ^ i;
+        match i % 3 {
+            0 => Box::new(Interleave::new(vec![
+                (Box::new(HotRegionRandom::new(slot(app * 3), shrunk(1 << 12, sh), pc + i * 0x400, 70, s)) as _, 2),
+                (Box::new(RegionScan::new(
+                    slot(app * 3 + 1),
+                    shrunk(1 << 13, sh),
+                    vec![vec![0u8, 1, 2, 3, 8], vec![0, 4, 5, 9]],
+                    20,
+                    pc + i * 0x400 + 0x100,
+                    64,
+                    s ^ 1,
+                )) as _, 1),
+            ])),
+            1 => Box::new(Interleave::new(vec![
+                (Box::new(PointerChase::new(slot(app * 3 + 2), shrunk(1 << 15, sh) as u32, 128, pc + i * 0x400, 72, s)) as _, 1),
+                (Box::new(SequentialStream::new(slot(app * 3), shrunk(1 << 13, sh), pc + i * 0x400 + 0x100, 64)) as _, 1),
+            ])),
+            _ => Box::new(Interleave::new(vec![
+                (Box::new(SequentialStream::new(slot(app * 3 + 1), shrunk(1 << 14, sh), pc + i * 0x400, 60).with_stores_every(5)) as _, 3),
+                // A small random-update component (logging/metadata); its
+                // footprint stays LLC-resident so mispredictions are cheap.
+                (Box::new(GupsRandom::new(slot(app * 3 + 2), shrunk(1 << 11, sh), pc + i * 0x400 + 0x100, 70, s ^ 2)) as _, 1),
+            ])),
+        }
+    };
+    // ~1k records ≈ 60k instructions per phase: several phase changes per
+    // measured region, as in the CRC-2 traces' six distinct phases.
+    Box::new(PhaseAlternate::new((0..6).map(mk_phase).collect(), 1_000))
+}
+
+fn data_serving(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    server_app(0, seed, sh)
+}
+fn web_search(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    server_app(1, seed, sh)
+}
+fn media_streaming(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    server_app(2, seed, sh)
+}
+fn graph_analytics(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    server_app(3, seed, sh)
+}
+
+/// CloudSuite-like validation models (four 4-core server applications with
+/// six distinct phases each, as in the CRC-2 traces).
+pub fn cloudsuite() -> Vec<Workload> {
+    vec![
+        Workload::from_parts("cloud.data_serving", Suite::CloudSuite, true, data_serving),
+        Workload::from_parts("cloud.web_search", Suite::CloudSuite, true, web_search),
+        Workload::from_parts("cloud.media_streaming", Suite::CloudSuite, true, media_streaming),
+        Workload::from_parts("cloud.graph_analytics", Suite::CloudSuite, true, graph_analytics),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::TraceBuilder;
+
+    #[test]
+    fn suites_have_expected_sizes() {
+        assert_eq!(spec2006().len(), 12);
+        assert_eq!(cloudsuite().len(), 4);
+    }
+
+    #[test]
+    fn validation_models_generate() {
+        for w in spec2006().into_iter().chain(cloudsuite()) {
+            let mut g = TraceBuilder::new(w.clone()).seed(11).shrink(6).build();
+            for _ in 0..500 {
+                let r = g.next_record();
+                assert!(r.addr >= HEAP, "{} below heap", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn validation_models_deterministic() {
+        for w in spec2006().into_iter().chain(cloudsuite()) {
+            let mut a = TraceBuilder::new(w.clone()).seed(4).shrink(6).build();
+            let mut b = TraceBuilder::new(w.clone()).seed(4).shrink(6).build();
+            for _ in 0..300 {
+                assert_eq!(a.next_record(), b.next_record(), "{} diverged", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn spec2006_memory_intensive_subset() {
+        let n = spec2006().iter().filter(|w| w.is_memory_intensive()).count();
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn cloudsuite_phases_change_behaviour() {
+        // Consecutive phases (1,000 records each) touch mostly different
+        // address sets.
+        let w = cloudsuite().remove(0);
+        let mut g = TraceBuilder::new(w).seed(2).shrink(6).build();
+        let first: std::collections::HashSet<u64> =
+            (0..800).map(|_| g.next_record().addr >> 12).collect();
+        for _ in 800..1_000 {
+            g.next_record();
+        }
+        let second: std::collections::HashSet<u64> =
+            (0..800).map(|_| g.next_record().addr >> 12).collect();
+        let overlap = first.intersection(&second).count();
+        assert!(
+            overlap * 2 < first.len().max(1),
+            "phases look identical: {overlap} shared of {}",
+            first.len()
+        );
+    }
+}

@@ -1,0 +1,581 @@
+//! Named workload models.
+//!
+//! Each model approximates the memory behaviour of one SPEC CPU 2017 (speed)
+//! application using the primitives of [`crate::pattern`]. The parameters —
+//! footprint, compute-per-access (`work`), pattern mix, dependence — were
+//! chosen to reflect each application's published characterization:
+//! miss intensity class, stride regularity, page-local delta entropy, and
+//! latency- vs bandwidth-bound behaviour. See DESIGN.md §4 for why this
+//! substitution preserves the paper's observable effects.
+//!
+//! The paper's *memory-intensive subset* (SimPoint-weighted LLC MPKI > 1,
+//! 11 of 20 applications) is modelled by [`Workload::memory_intensive`].
+
+use crate::pattern::{
+    AccessPattern, GupsRandom, HotRegionRandom, Interleave, PhaseAlternate, PointerChase,
+    RegionScan, SequentialStream, Stencil3d, StridedStream,
+};
+use crate::record::TraceRecord;
+
+/// Benchmark suite a workload model belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU 2017 (the paper's primary suite).
+    Spec2017,
+    /// SPEC CPU 2006 (cross-validation, Sec 6.4).
+    Spec2006,
+    /// CloudSuite-like server workloads (cross-validation, Sec 6.4).
+    CloudSuite,
+}
+
+/// Builder signature for a workload's pattern.
+///
+/// `seed` controls all pseudo-random choices; `shrink` right-shifts the
+/// footprints (0 = full size) so tests can run on small structures.
+pub type PatternBuilder = fn(seed: u64, shrink: u32) -> Box<dyn AccessPattern>;
+
+/// A named synthetic workload model.
+#[derive(Clone)]
+pub struct Workload {
+    name: &'static str,
+    suite: Suite,
+    mem_intensive: bool,
+    builder: PatternBuilder,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .field("mem_intensive", &self.mem_intensive)
+            .finish()
+    }
+}
+
+impl Workload {
+    /// Creates a workload from parts (used by the validation suites too).
+    pub(crate) fn from_parts(
+        name: &'static str,
+        suite: Suite,
+        mem_intensive: bool,
+        builder: PatternBuilder,
+    ) -> Self {
+        Self { name, suite, mem_intensive, builder }
+    }
+
+    /// The workload's name, e.g. `"603.bwaves_s"`.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Which suite the model belongs to.
+    pub fn suite(&self) -> Suite {
+        self.suite
+    }
+
+    /// Whether the model is in the memory-intensive subset (LLC MPKI > 1).
+    pub fn is_memory_intensive(&self) -> bool {
+        self.mem_intensive
+    }
+
+    /// Instantiates the model's access pattern.
+    pub fn build_pattern(&self, seed: u64, shrink: u32) -> Box<dyn AccessPattern> {
+        (self.builder)(seed, shrink)
+    }
+
+    /// All 20 SPEC CPU 2017 (speed) models, in numeric order.
+    pub fn spec2017() -> Vec<Workload> {
+        SPEC2017.to_vec()
+    }
+
+    /// The memory-intensive subset of a suite.
+    pub fn memory_intensive(suite: Suite) -> Vec<Workload> {
+        Self::suite_all(suite).into_iter().filter(|w| w.mem_intensive).collect()
+    }
+
+    /// All workloads of a suite.
+    pub fn suite_all(suite: Suite) -> Vec<Workload> {
+        match suite {
+            Suite::Spec2017 => Self::spec2017(),
+            Suite::Spec2006 => crate::validation::spec2006(),
+            Suite::CloudSuite => crate::validation::cloudsuite(),
+        }
+    }
+
+    /// Looks a workload up by name across all suites.
+    pub fn by_name(name: &str) -> Option<Workload> {
+        Self::spec2017()
+            .into_iter()
+            .chain(crate::validation::spec2006())
+            .chain(crate::validation::cloudsuite())
+            .find(|w| w.name == name)
+    }
+}
+
+/// Configures and builds a [`TraceGenerator`].
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    workload: Workload,
+    seed: u64,
+    shrink: u32,
+}
+
+impl TraceBuilder {
+    /// Starts building a trace for `workload` (seed 0, full footprint).
+    pub fn new(workload: Workload) -> Self {
+        Self { workload, seed: 0, shrink: 0 }
+    }
+
+    /// Sets the random seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Right-shifts all footprints by `shrink` (for fast tests).
+    pub fn shrink(mut self, shrink: u32) -> Self {
+        self.shrink = shrink;
+        self
+    }
+
+    /// Builds the generator.
+    pub fn build(self) -> TraceGenerator {
+        let pattern = self.workload.build_pattern(self.seed, self.shrink);
+        TraceGenerator { name: self.workload.name, pattern, instructions: 0, records: 0 }
+    }
+}
+
+/// A running trace: an access pattern plus instruction accounting.
+pub struct TraceGenerator {
+    name: &'static str,
+    pattern: Box<dyn AccessPattern>,
+    instructions: u64,
+    records: u64,
+}
+
+impl std::fmt::Debug for TraceGenerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceGenerator")
+            .field("name", &self.name)
+            .field("instructions", &self.instructions)
+            .field("records", &self.records)
+            .finish()
+    }
+}
+
+impl TraceGenerator {
+    /// Name of the underlying workload.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Produces the next record, updating the instruction count.
+    pub fn next_record(&mut self) -> TraceRecord {
+        let rec = self.pattern.next_record();
+        self.instructions += rec.instruction_count();
+        self.records += 1;
+        rec
+    }
+
+    /// Total instructions represented by the records emitted so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Number of memory records emitted so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+impl AccessPattern for TraceGenerator {
+    fn next_record(&mut self) -> TraceRecord {
+        TraceGenerator::next_record(self)
+    }
+}
+
+// --- address-space layout helpers ------------------------------------------
+
+/// Base of the synthetic heap; each component of a model gets its own slot.
+const HEAP: u64 = 0x1000_0000;
+/// Slot stride: components never overlap (256 MB apart).
+const SLOT: u64 = 0x1000_0000;
+
+fn slot(i: u64) -> u64 {
+    HEAP + i * SLOT
+}
+
+fn pc_base(app: u64) -> u64 {
+    0x40_0000 + app * 0x1_0000
+}
+
+fn shrunk(v: u64, shrink: u32) -> u64 {
+    (v >> shrink).max(4)
+}
+
+// --- SPEC CPU 2017 models ---------------------------------------------------
+
+fn perlbench_s(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // Interpreter: hot data structures that mostly fit in L2, light chasing.
+    let pc = pc_base(0);
+    Box::new(Interleave::new(vec![
+        (Box::new(HotRegionRandom::new(slot(0), shrunk(4096, sh), pc, 14, seed ^ 1)) as _, 3),
+        (Box::new(PointerChase::new(slot(1), shrunk(2048, sh) as u32, 64, pc + 0x100, 12, seed ^ 2)) as _, 1),
+        (Box::new(SequentialStream::new(slot(2), shrunk(512, sh), pc + 0x200, 10)) as _, 1),
+    ]))
+}
+
+fn gcc_s(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // Compiler: mixed small scans, moderate irregularity, medium footprint.
+    let pc = pc_base(1);
+    let fps = vec![vec![0u8, 1, 2, 5, 9], vec![0, 4, 8, 16], vec![0, 1, 3]];
+    Box::new(Interleave::new(vec![
+        (Box::new(RegionScan::new(slot(0), shrunk(2048, sh), fps, 15, pc, 40, seed ^ 3)) as _, 2),
+        (Box::new(HotRegionRandom::new(slot(1), shrunk(8192, sh), pc + 0x100, 42, seed ^ 4)) as _, 2),
+        (Box::new(SequentialStream::new(slot(2), shrunk(4096, sh), pc + 0x200, 38)) as _, 1),
+    ]))
+}
+
+fn bwaves_s(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // Block-tridiagonal solver: several very regular multi-stream stencils
+    // over grids far beyond the LLC. Deep-lookahead friendly; the paper's
+    // Figure 1 case study.
+    let _ = seed;
+    let pc = pc_base(2);
+    let n = shrunk(192, sh);
+    Box::new(Interleave::new(vec![
+        (Box::new(Stencil3d::new(slot(0), n, n, 24, 8, pc, 22)) as _, 2),
+        (Box::new(Stencil3d::new(slot(1), n, n, 24, 8, pc + 0x100, 22)) as _, 2),
+        (Box::new(SequentialStream::new(slot(2), shrunk(1 << 17, sh), pc + 0x200, 20).with_stores_every(3)) as _, 1),
+    ]))
+}
+
+fn mcf_s(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // Network simplex: dominated by dependent pointer chasing over a huge
+    // arc/node array, plus a regular sweep. Latency-bound, prefetch-hard.
+    let pc = pc_base(3);
+    Box::new(Interleave::new(vec![
+        (Box::new(PointerChase::new(slot(0), shrunk(1 << 19, sh) as u32, 64, pc, 24, seed ^ 5)) as _, 2),
+        (Box::new(StridedStream::new(slot(1), shrunk(1 << 26, sh), 128, pc + 0x100, 20)) as _, 2),
+        (Box::new(HotRegionRandom::new(slot(2), shrunk(1 << 16, sh), pc + 0x200, 22, seed ^ 6)) as _, 1),
+    ]))
+}
+
+fn cactubssn_s(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // Einstein-equation stencil with large fixed strides: a small set of
+    // constant block offsets repeated over a huge footprint. A best-offset
+    // prefetcher locks onto it; signature lookahead suffers at page edges
+    // (the one benchmark where PPF/SPP lose to BOP in the paper).
+    let _ = seed;
+    let pc = pc_base(4);
+    let region = shrunk(1 << 27, sh).max(1 << 12);
+    Box::new(Interleave::new(vec![
+        (Box::new(StridedStream::new(slot(0), region, 192, pc, 25)) as _, 2),
+        (Box::new(StridedStream::new(slot(1), region, 192, pc + 0x100, 25)) as _, 2),
+        (Box::new(StridedStream::new(slot(2), region, 832, pc + 0x200, 25)) as _, 1),
+    ]))
+}
+
+fn lbm_s(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // Lattice-Boltzmann: many unit-stride streams with stores; pure
+    // bandwidth-bound streaming.
+    let _ = seed;
+    let pc = pc_base(5);
+    let blocks = shrunk(1 << 17, sh);
+    let mut parts: Vec<(Box<dyn AccessPattern>, u32)> = Vec::new();
+    for i in 0..6u64 {
+        parts.push((
+            Box::new(
+                SequentialStream::new(slot(i), blocks, pc + i * 0x40, 18).with_stores_every(2),
+            ) as _,
+            1,
+        ));
+    }
+    Box::new(Interleave::new(parts))
+}
+
+fn omnetpp_s(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // Discrete-event simulation: heavy pointer chasing over event heaps plus
+    // scattered small objects.
+    let pc = pc_base(6);
+    Box::new(Interleave::new(vec![
+        (Box::new(PointerChase::new(slot(0), shrunk(1 << 17, sh) as u32, 128, pc, 30, seed ^ 7)) as _, 2),
+        (Box::new(HotRegionRandom::new(slot(1), shrunk(1 << 15, sh), pc + 0x100, 28, seed ^ 8)) as _, 2),
+        (Box::new(SequentialStream::new(slot(2), shrunk(2048, sh), pc + 0x200, 26)) as _, 1),
+    ]))
+}
+
+fn wrf_s(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // Weather model: stencils plus sequential I/O-ish sweeps, moderately
+    // intensive, regular.
+    let _ = seed;
+    let pc = pc_base(7);
+    let n = shrunk(128, sh);
+    Box::new(Interleave::new(vec![
+        (Box::new(Stencil3d::new(slot(0), n, n, 16, 8, pc, 35)) as _, 2),
+        (Box::new(SequentialStream::new(slot(1), shrunk(1 << 15, sh), pc + 0x100, 34)) as _, 1),
+        (Box::new(StridedStream::new(slot(2), shrunk(1 << 23, sh), 512, pc + 0x200, 33)) as _, 1),
+    ]))
+}
+
+fn xalancbmk_s(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // XSLT processor: DOM traversal with *varying* page-local deltas — the
+    // paper's showcase for PPF (SPP's throttle halts at depth ~2.1; PPF keeps
+    // going to ~3.3). Modelled as region scans whose footprints rotate, plus
+    // light chasing.
+    let pc = pc_base(8);
+    // Three footprints: the first delta out of offset 0 is ambiguous (the
+    // paper: "varying prefetch deltas" halt SPP's compounding confidence at
+    // an average depth of 2.1), but each footprint's continuation is fixed,
+    // so a filter that reads the signature can keep the deep candidates.
+    let fps = vec![
+        vec![0u8, 2, 3, 6, 11, 13, 16, 18, 21, 27, 29, 33],
+        vec![0, 1, 4, 9, 10, 14, 17, 22, 25, 28, 34],
+        vec![0, 5, 7, 8, 15, 20, 24, 26, 31, 36, 40, 44],
+    ];
+    Box::new(Interleave::new(vec![
+        (Box::new(RegionScan::new(slot(0), shrunk(1 << 10, sh), fps, 10, pc, 26, seed ^ 9)) as _, 4),
+        (Box::new(PointerChase::new(slot(1), shrunk(1 << 14, sh) as u32, 96, pc + 0x800, 28, seed ^ 10)) as _, 1),
+    ]))
+}
+
+fn x264_s(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // Video encode: 2-D motion search in a bounded window + row streams.
+    let pc = pc_base(9);
+    Box::new(Interleave::new(vec![
+        (Box::new(HotRegionRandom::new(slot(0), shrunk(4096, sh), pc, 11, seed ^ 11)) as _, 2),
+        (Box::new(SequentialStream::new(slot(1), shrunk(8192, sh), pc + 0x100, 9)) as _, 2),
+        (Box::new(StridedStream::new(slot(2), shrunk(1 << 21, sh), 384, pc + 0x200, 10)) as _, 1),
+    ]))
+}
+
+fn cam4_s(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // Atmosphere model: stencil + strided physics columns; intensive.
+    let _ = seed;
+    let pc = pc_base(10);
+    let n = shrunk(144, sh);
+    Box::new(Interleave::new(vec![
+        (Box::new(Stencil3d::new(slot(0), n, n, 24, 8, pc, 50)) as _, 2),
+        (Box::new(StridedStream::new(slot(1), shrunk(1 << 24, sh), 256, pc + 0x100, 50)) as _, 2),
+        (Box::new(SequentialStream::new(slot(2), shrunk(1 << 14, sh), pc + 0x200, 48)) as _, 1),
+    ]))
+}
+
+fn pop2_s(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // Ocean model: alternating phases of streaming and stencil.
+    let _ = seed;
+    let pc = pc_base(11);
+    let n = shrunk(128, sh);
+    Box::new(PhaseAlternate::new(
+        vec![
+            Box::new(SequentialStream::new(slot(0), shrunk(1 << 16, sh), pc, 68).with_stores_every(4)) as _,
+            Box::new(Stencil3d::new(slot(1), n, n, 16, 8, pc + 0x100, 66)) as _,
+        ],
+        50_000,
+    ))
+}
+
+fn deepsjeng_s(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // Chess: transposition-table randoms that mostly hit the LLC.
+    let pc = pc_base(12);
+    Box::new(Interleave::new(vec![
+        (Box::new(HotRegionRandom::new(slot(0), shrunk(1 << 14, sh), pc, 13, seed ^ 12)) as _, 3),
+        (Box::new(SequentialStream::new(slot(1), shrunk(256, sh), pc + 0x100, 12)) as _, 1),
+    ]))
+}
+
+fn imagick_s(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // Image transforms: row-major sweeps over images that exceed L2 but are
+    // very regular; compute-heavy.
+    let _ = seed;
+    let pc = pc_base(13);
+    Box::new(Interleave::new(vec![
+        (Box::new(SequentialStream::new(slot(0), shrunk(1 << 14, sh), pc, 10).with_stores_every(3)) as _, 2),
+        (Box::new(StridedStream::new(slot(1), shrunk(1 << 20, sh), 4096 + 64, pc + 0x100, 9)) as _, 1),
+    ]))
+}
+
+fn leela_s(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // Go engine: small tree chasing, tiny footprint, compute-bound.
+    let pc = pc_base(14);
+    Box::new(Interleave::new(vec![
+        (Box::new(PointerChase::new(slot(0), shrunk(4096, sh) as u32, 64, pc, 13, seed ^ 13)) as _, 1),
+        (Box::new(HotRegionRandom::new(slot(1), shrunk(2048, sh), pc + 0x100, 14, seed ^ 14)) as _, 2),
+    ]))
+}
+
+fn nab_s(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // Molecular dynamics: neighbour-list strides, moderate regularity.
+    let _ = seed;
+    let pc = pc_base(15);
+    Box::new(Interleave::new(vec![
+        (Box::new(StridedStream::new(slot(0), shrunk(1 << 20, sh), 320, pc, 8)) as _, 2),
+        (Box::new(SequentialStream::new(slot(1), shrunk(4096, sh), pc + 0x100, 8)) as _, 1),
+    ]))
+}
+
+fn exchange2_s(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // Sudoku solver: footprint fits in L1/L2; essentially no memory traffic.
+    let pc = pc_base(16);
+    Box::new(Interleave::new(vec![
+        (Box::new(HotRegionRandom::new(slot(0), shrunk(96, sh), pc, 24, seed ^ 15)) as _, 1),
+        (Box::new(SequentialStream::new(slot(1), shrunk(64, sh), pc + 0x100, 22)) as _, 1),
+    ]))
+}
+
+fn fotonik3d_s(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // FDTD electromagnetics: textbook multi-stream stencil, huge and
+    // perfectly regular; second-best PPF gainer in the paper.
+    let _ = seed;
+    let pc = pc_base(17);
+    let n = shrunk(224, sh);
+    Box::new(Interleave::new(vec![
+        (Box::new(Stencil3d::new(slot(0), n, n, 24, 8, pc, 20)) as _, 3),
+        (Box::new(Stencil3d::new(slot(1), n, n, 24, 8, pc + 0x100, 20)) as _, 2),
+    ]))
+}
+
+fn roms_s(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // Ocean model: streaming plus stencil, bandwidth-hungry.
+    let _ = seed;
+    let pc = pc_base(18);
+    let n = shrunk(160, sh);
+    Box::new(Interleave::new(vec![
+        (Box::new(SequentialStream::new(slot(0), shrunk(1 << 16, sh), pc, 60).with_stores_every(4)) as _, 2),
+        (Box::new(Stencil3d::new(slot(1), n, n, 16, 8, pc + 0x100, 58)) as _, 2),
+        (Box::new(StridedStream::new(slot(2), shrunk(1 << 23, sh), 448, pc + 0x200, 56)) as _, 1),
+    ]))
+}
+
+fn xz_s(seed: u64, sh: u32) -> Box<dyn AccessPattern> {
+    // Compression: dictionary randoms over a window + sequential input.
+    let pc = pc_base(19);
+    Box::new(Interleave::new(vec![
+        (Box::new(HotRegionRandom::new(slot(0), shrunk(1 << 15, sh), pc, 8, seed ^ 16)) as _, 2),
+        (Box::new(SequentialStream::new(slot(1), shrunk(1 << 14, sh), pc + 0x100, 7)) as _, 1),
+        (Box::new(GupsRandom::new(slot(2), shrunk(1 << 16, sh), pc + 0x200, 8, seed ^ 17)) as _, 1),
+    ]))
+}
+
+const SPEC2017: &[Workload] = &[
+    Workload { name: "600.perlbench_s", suite: Suite::Spec2017, mem_intensive: false, builder: perlbench_s },
+    Workload { name: "602.gcc_s", suite: Suite::Spec2017, mem_intensive: false, builder: gcc_s },
+    Workload { name: "603.bwaves_s", suite: Suite::Spec2017, mem_intensive: true, builder: bwaves_s },
+    Workload { name: "605.mcf_s", suite: Suite::Spec2017, mem_intensive: true, builder: mcf_s },
+    Workload { name: "607.cactuBSSN_s", suite: Suite::Spec2017, mem_intensive: true, builder: cactubssn_s },
+    Workload { name: "619.lbm_s", suite: Suite::Spec2017, mem_intensive: true, builder: lbm_s },
+    Workload { name: "620.omnetpp_s", suite: Suite::Spec2017, mem_intensive: true, builder: omnetpp_s },
+    Workload { name: "621.wrf_s", suite: Suite::Spec2017, mem_intensive: true, builder: wrf_s },
+    Workload { name: "623.xalancbmk_s", suite: Suite::Spec2017, mem_intensive: true, builder: xalancbmk_s },
+    Workload { name: "625.x264_s", suite: Suite::Spec2017, mem_intensive: false, builder: x264_s },
+    Workload { name: "627.cam4_s", suite: Suite::Spec2017, mem_intensive: true, builder: cam4_s },
+    Workload { name: "628.pop2_s", suite: Suite::Spec2017, mem_intensive: true, builder: pop2_s },
+    Workload { name: "631.deepsjeng_s", suite: Suite::Spec2017, mem_intensive: false, builder: deepsjeng_s },
+    Workload { name: "638.imagick_s", suite: Suite::Spec2017, mem_intensive: false, builder: imagick_s },
+    Workload { name: "641.leela_s", suite: Suite::Spec2017, mem_intensive: false, builder: leela_s },
+    Workload { name: "644.nab_s", suite: Suite::Spec2017, mem_intensive: false, builder: nab_s },
+    Workload { name: "648.exchange2_s", suite: Suite::Spec2017, mem_intensive: false, builder: exchange2_s },
+    Workload { name: "649.fotonik3d_s", suite: Suite::Spec2017, mem_intensive: true, builder: fotonik3d_s },
+    Workload { name: "654.roms_s", suite: Suite::Spec2017, mem_intensive: true, builder: roms_s },
+    Workload { name: "657.xz_s", suite: Suite::Spec2017, mem_intensive: false, builder: xz_s },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn twenty_spec2017_models() {
+        assert_eq!(Workload::spec2017().len(), 20);
+    }
+
+    #[test]
+    fn eleven_memory_intensive() {
+        // The paper: 11 of 20 SPEC CPU 2017 applications have LLC MPKI > 1.
+        assert_eq!(Workload::memory_intensive(Suite::Spec2017).len(), 11);
+    }
+
+    #[test]
+    fn names_unique() {
+        let names: HashSet<_> = Workload::spec2017().iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 20);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let w = Workload::by_name("605.mcf_s").expect("mcf exists");
+        assert!(w.is_memory_intensive());
+        assert_eq!(w.suite(), Suite::Spec2017);
+        assert!(Workload::by_name("999.nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_model_builds_and_generates() {
+        for w in Workload::spec2017() {
+            let mut g = TraceBuilder::new(w.clone()).seed(1).shrink(6).build();
+            for _ in 0..1000 {
+                let r = g.next_record();
+                assert!(r.addr >= super::HEAP, "{}: addr below heap", w.name());
+            }
+            assert!(g.instructions() >= 1000);
+            assert_eq!(g.records(), 1000);
+        }
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        for w in Workload::spec2017() {
+            let mut a = TraceBuilder::new(w.clone()).seed(7).shrink(6).build();
+            let mut b = TraceBuilder::new(w.clone()).seed(7).shrink(6).build();
+            for _ in 0..500 {
+                assert_eq!(a.next_record(), b.next_record(), "{} diverged", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn mcf_is_dependent_heavy() {
+        let w = Workload::by_name("605.mcf_s").unwrap();
+        let mut g = TraceBuilder::new(w).seed(3).shrink(4).build();
+        let dep = (0..1000).filter(|_| g.next_record().dependent).count();
+        assert!(dep > 300, "mcf should be chase-heavy, got {dep}/1000");
+    }
+
+    #[test]
+    fn bwaves_is_regular() {
+        let w = Workload::by_name("603.bwaves_s").unwrap();
+        let mut g = TraceBuilder::new(w).seed(3).shrink(4).build();
+        let dep = (0..1000).filter(|_| g.next_record().dependent).count();
+        assert_eq!(dep, 0, "bwaves has no dependent chasing");
+    }
+
+    #[test]
+    fn footprint_reflects_intensity() {
+        // Memory-intensive models sweep far more distinct pages than
+        // cache-resident, compute-bound ones.
+        let pages = |name: &str| {
+            let w = Workload::by_name(name).unwrap();
+            let mut g = TraceBuilder::new(w).seed(5).build();
+            let set: std::collections::HashSet<u64> =
+                (0..5000).map(|_| g.next_record().addr >> 12).collect();
+            set.len()
+        };
+        assert!(pages("605.mcf_s") > 2 * pages("641.leela_s"));
+        assert!(pages("605.mcf_s") > 2 * pages("648.exchange2_s"));
+    }
+
+    #[test]
+    fn components_do_not_overlap() {
+        // Patterns within one model live in distinct 256 MB slots.
+        for w in Workload::spec2017() {
+            let mut g = TraceBuilder::new(w.clone()).seed(2).shrink(6).build();
+            for _ in 0..2000 {
+                let r = g.next_record();
+                let slot_off = (r.addr - super::HEAP) % super::SLOT;
+                assert!(slot_off < super::SLOT, "{}: out of slot", w.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the pattern primitives' spatial invariants.
+
+use ppf_trace::{
+    AccessPattern, GupsRandom, HotRegionRandom, Interleave, PointerChase, RegionScan,
+    SequentialStream, StridedStream, TraceBuilder, Workload,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Sequential streams stay within `[base, base + len*64)` for any shape.
+    #[test]
+    fn sequential_stays_in_region(base in 0u64..(1 << 40), len in 1u64..10_000, n in 1usize..500) {
+        let base = base & !63;
+        let mut s = SequentialStream::new(base, len, 0x400000, 3);
+        for _ in 0..n {
+            let a = s.next_record().addr;
+            prop_assert!((base..base + len * 64).contains(&a));
+        }
+    }
+
+    /// Strided streams stay within their region and on stride multiples.
+    #[test]
+    fn strided_stays_in_region(stride in 1u64..5_000, laps in 1usize..400) {
+        let base = 0x10_0000u64;
+        let region = stride * 16;
+        let mut s = StridedStream::new(base, region, stride, 0x400000, 1);
+        for _ in 0..laps {
+            let a = s.next_record().addr;
+            prop_assert!((base..base + region).contains(&a));
+            prop_assert_eq!((a - base) % stride, 0);
+        }
+    }
+
+    /// A pointer chase visits every node exactly once per cycle, for any
+    /// node count and seed.
+    #[test]
+    fn chase_is_a_permutation(nodes in 2u32..512, seed in any::<u64>()) {
+        let mut p = PointerChase::new(0, nodes, 64, 0, 0, seed);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..nodes {
+            let r = p.next_record();
+            prop_assert!(r.dependent);
+            prop_assert!(seen.insert(r.addr), "revisit inside one cycle");
+        }
+    }
+
+    /// Hot-region randoms never leave the region, for any seed/size.
+    #[test]
+    fn hot_region_bounded(blocks in 1u64..10_000, seed in any::<u64>(), n in 1usize..300) {
+        let base = 0x4000_0000u64;
+        let mut h = HotRegionRandom::new(base, blocks, 0, 0, seed);
+        for _ in 0..n {
+            let a = h.next_record().addr;
+            prop_assert!((base..base + blocks * 64).contains(&a));
+        }
+    }
+
+    /// GUPS alternates load/store on the same block, always in bounds.
+    #[test]
+    fn gups_pairs_up(blocks in 1u64..100_000, seed in any::<u64>(), pairs in 1usize..200) {
+        let base = 0x8000_0000u64;
+        let mut g = GupsRandom::new(base, blocks, 0, 1, seed);
+        for _ in 0..pairs {
+            let l = g.next_record();
+            let s = g.next_record();
+            prop_assert_eq!(l.addr, s.addr);
+            prop_assert!((base..base + blocks * 64).contains(&l.addr));
+        }
+    }
+
+    /// Region scans only touch offsets from their footprints.
+    #[test]
+    fn region_scan_respects_footprints(seed in any::<u64>(), n in 1usize..400) {
+        let fps = vec![vec![0u8, 3, 9, 17], vec![0, 5, 11], vec![0, 1, 2, 4, 8]];
+        let allowed: std::collections::HashSet<u64> =
+            fps.iter().flatten().map(|&o| u64::from(o)).collect();
+        let mut r = RegionScan::new(0x1000_0000, 256, fps, 20, 0x400000, 2, seed);
+        for _ in 0..n {
+            let a = r.next_record().addr;
+            let off = (a % 4096) / 64;
+            prop_assert!(allowed.contains(&off), "offset {} not in any footprint", off);
+        }
+    }
+
+    /// Interleave preserves each part's record stream (projection property):
+    /// filtering the interleaved stream by PC must reproduce the part run
+    /// in isolation.
+    #[test]
+    fn interleave_projects(w1 in 1u32..4, w2 in 1u32..4, n in 10usize..200) {
+        let a = Box::new(SequentialStream::new(0x10_0000, 512, 0xAAAA00, 1));
+        let b = Box::new(StridedStream::new(0x90_0000, 8192, 192, 0xBBBB00, 2));
+        let mut inter = Interleave::new(vec![(a as _, w1), (b as _, w2)]);
+        let mut solo = SequentialStream::new(0x10_0000, 512, 0xAAAA00, 1);
+        let mut matched = 0;
+        for _ in 0..n {
+            let r = inter.next_record();
+            if r.pc == 0xAAAA00 {
+                prop_assert_eq!(r, solo.next_record());
+                matched += 1;
+            }
+        }
+        prop_assert!(matched > 0);
+    }
+
+    /// Every workload model is deterministic per (seed, shrink) and
+    /// instruction accounting is exact.
+    #[test]
+    fn workload_accounting_exact(idx in 0usize..20, seed in any::<u64>()) {
+        let w = Workload::spec2017()[idx].clone();
+        let mut g = TraceBuilder::new(w).seed(seed).shrink(6).build();
+        let mut expect = 0u64;
+        for _ in 0..100 {
+            let r = g.next_record();
+            expect += u64::from(r.work) + 1;
+        }
+        prop_assert_eq!(g.instructions(), expect);
+        prop_assert_eq!(g.records(), 100);
+    }
+}

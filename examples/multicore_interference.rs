@@ -1,0 +1,66 @@
+//! Multi-core interference: why prefetch filtering matters more with shared
+//! resources (paper Sec 6.2).
+//!
+//! Four cores share one LLC and one DRAM channel. An over-aggressive
+//! prefetcher on one core wastes bandwidth that the other three need; PPF's
+//! filtering keeps the aggression only where it pays.
+//!
+//! ```sh
+//! cargo run --release --example multicore_interference
+//! ```
+
+use ppf_repro::analysis::weighted_speedup;
+use ppf_repro::filter::Ppf;
+use ppf_repro::prefetchers::Spp;
+use ppf_repro::sim::{NoPrefetcher, Prefetcher, Simulation, SystemConfig};
+use ppf_repro::trace::{TraceBuilder, Workload};
+
+const MIX: [&str; 4] = ["619.lbm_s", "605.mcf_s", "623.xalancbmk_s", "603.bwaves_s"];
+
+fn build(scheme: &str) -> Box<dyn Prefetcher> {
+    match scheme {
+        "none" => Box::new(NoPrefetcher),
+        "spp" => Box::new(Spp::default()),
+        _ => Box::new(Ppf::new(Spp::default())),
+    }
+}
+
+fn run_mix(scheme: &str, warmup: u64, measure: u64) -> Vec<f64> {
+    let mut sim = Simulation::new(SystemConfig::multi_core(4));
+    for (i, name) in MIX.iter().enumerate() {
+        let w = Workload::by_name(name).expect("known workload");
+        let trace = Box::new(TraceBuilder::new(w).seed(42 + i as u64).build());
+        sim.add_core(*name, trace, build(scheme));
+    }
+    let r = sim.run(warmup, measure);
+    r.cores.iter().map(|c| c.ipc()).collect()
+}
+
+fn isolated(name: &str, warmup: u64, measure: u64) -> f64 {
+    let w = Workload::by_name(name).expect("known workload");
+    let mut cfg = SystemConfig::single_core();
+    cfg.llc.size_bytes = 8 * 1024 * 1024; // match the 4-core LLC
+    let trace = Box::new(TraceBuilder::new(w).seed(42).build());
+    let mut sim = Simulation::new(cfg);
+    sim.add_core(name, trace, Box::new(NoPrefetcher));
+    sim.run(warmup, measure).cores[0].ipc()
+}
+
+fn main() {
+    let warmup = 100_000;
+    let measure = 400_000;
+    println!("4-core mix: {MIX:?}\n");
+
+    let iso: Vec<f64> = MIX.iter().map(|n| isolated(n, warmup, measure)).collect();
+    let base = run_mix("none", warmup, measure);
+    for scheme in ["none", "spp", "ppf"] {
+        let ipc = run_mix(scheme, warmup, measure);
+        let ws = weighted_speedup(&ipc, &base, &iso);
+        let per_core: Vec<String> = ipc.iter().map(|x| format!("{x:.3}")).collect();
+        println!("{scheme:<5} per-core IPC [{}]  weighted speedup {ws:.3}", per_core.join(", "));
+    }
+    println!("\nThe paper's observation: PPF's advantage over SPP grows in");
+    println!("multi-core runs (11.4% at 4 cores vs 3.78% at 1) because every");
+    println!("filtered-out useless prefetch is shared bandwidth returned to");
+    println!("the other cores.");
+}

@@ -1,0 +1,51 @@
+//! Quickstart: run PPF-filtered SPP against plain SPP on one workload and
+//! print the headline numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ppf_repro::filter::Ppf;
+use ppf_repro::prefetchers::Spp;
+use ppf_repro::sim::{run_single_core, NoPrefetcher, Prefetcher, SystemConfig};
+use ppf_repro::trace::{TraceBuilder, Workload};
+
+fn main() {
+    let workload = Workload::by_name("603.bwaves_s").expect("known workload");
+    let warmup = 100_000;
+    let measure = 500_000;
+
+    println!("workload: {} (memory-intensive: {})\n", workload.name(), workload.is_memory_intensive());
+
+    let schemes: Vec<(&str, Box<dyn Prefetcher>)> = vec![
+        ("no prefetching", Box::new(NoPrefetcher)),
+        ("SPP", Box::new(Spp::default())),
+        ("PPF over SPP", Box::new(Ppf::new(Spp::default()))),
+    ];
+
+    let mut baseline_ipc = None;
+    for (name, prefetcher) in schemes {
+        let trace = Box::new(TraceBuilder::new(workload.clone()).seed(42).build());
+        let report = run_single_core(
+            SystemConfig::single_core(),
+            workload.name(),
+            trace,
+            prefetcher,
+            warmup,
+            measure,
+        );
+        let core = &report.cores[0];
+        let base = *baseline_ipc.get_or_insert(report.ipc());
+        println!(
+            "{name:<16} ipc {:.3} (speedup {:.3}) | L2 MPKI {:>6.2} | prefetches issued {:>6}, accuracy {:.0}%",
+            report.ipc(),
+            report.ipc() / base,
+            core.l2_mpki(),
+            core.prefetch.issued,
+            100.0 * core.prefetch.accuracy(),
+        );
+    }
+
+    println!("\nPPF keeps SPP's deep speculation but filters the inaccurate");
+    println!("candidates, so coverage rises without the accuracy collapse.");
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the PPF (Perceptron-Based Prefetch Filtering, ISCA '19)
+//! reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency:
+//!
+//! * [`trace`] — synthetic SPEC-CPU-like workload models,
+//! * [`sim`] — the ChampSim-like cache/DRAM/core simulator,
+//! * [`prefetchers`] — SPP, BOP, DA-AMPM and reference baselines,
+//! * [`filter`] — PPF itself (the paper's contribution),
+//! * [`analysis`] — Pearson feature analysis and speedup statistics.
+
+pub use ppf as filter;
+pub use ppf_analysis as analysis;
+pub use ppf_prefetchers as prefetchers;
+pub use ppf_sim as sim;
+pub use ppf_trace as trace;

@@ -1,0 +1,118 @@
+//! Multi-core integration tests: contention, weighted-speedup plumbing, and
+//! the shared-LLC prefetch semantics at 4 and 8 cores.
+
+use ppf_repro::analysis::weighted_speedup;
+use ppf_repro::filter::Ppf;
+use ppf_repro::prefetchers::Spp;
+use ppf_repro::sim::{NoPrefetcher, Prefetcher, Simulation, SystemConfig};
+use ppf_repro::trace::{MixGenerator, Suite, TraceBuilder, Workload};
+
+fn run_mix_with(
+    mix: &ppf_repro::trace::WorkloadMix,
+    mk: impl Fn() -> Box<dyn Prefetcher>,
+    warmup: u64,
+    measure: u64,
+) -> ppf_repro::sim::SimReport {
+    let mut sim = Simulation::new(SystemConfig::multi_core(mix.cores()));
+    for (i, w) in mix.workloads.iter().enumerate() {
+        let trace = Box::new(TraceBuilder::new(w.clone()).seed(7 + i as u64).build());
+        sim.add_core(w.name(), trace, mk());
+    }
+    sim.run(warmup, measure)
+}
+
+#[test]
+fn weighted_speedup_pipeline_works_end_to_end() {
+    let pool = Workload::memory_intensive(Suite::Spec2017);
+    let mix = &MixGenerator::new(pool, 5).draw(1, 4)[0];
+
+    // Isolated baselines on an equal-LLC single-core machine.
+    let iso: Vec<f64> = mix
+        .workloads
+        .iter()
+        .map(|w| {
+            let mut cfg = SystemConfig::single_core();
+            cfg.llc.size_bytes = 8 * 1024 * 1024;
+            let trace = Box::new(TraceBuilder::new(w.clone()).seed(7).build());
+            let mut sim = Simulation::new(cfg);
+            sim.add_core(w.name(), trace, Box::new(NoPrefetcher));
+            sim.run(10_000, 60_000).cores[0].ipc()
+        })
+        .collect();
+
+    let base = run_mix_with(mix, || Box::new(NoPrefetcher), 10_000, 60_000);
+    let ppf = run_mix_with(mix, || Box::new(Ppf::new(Spp::default())), 10_000, 60_000);
+    let base_ipc: Vec<f64> = base.cores.iter().map(|c| c.ipc()).collect();
+    let ppf_ipc: Vec<f64> = ppf.cores.iter().map(|c| c.ipc()).collect();
+
+    let ws = weighted_speedup(&ppf_ipc, &base_ipc, &iso);
+    assert!(ws.is_finite() && ws > 0.2 && ws < 5.0, "weighted speedup {ws} out of sane range");
+
+    // Cores sharing an LLC cannot each beat their isolated-equal-LLC run.
+    for (c, (&mix_ipc, &iso_ipc)) in base.cores.iter().zip(base_ipc.iter().zip(&iso)) {
+        assert!(
+            mix_ipc <= iso_ipc * 1.25,
+            "{}: contended {} should not far exceed isolated {}",
+            c.workload,
+            mix_ipc,
+            iso_ipc
+        );
+    }
+}
+
+#[test]
+fn eight_core_simulation_completes_and_contends() {
+    let pool = Workload::memory_intensive(Suite::Spec2017);
+    let mix = &MixGenerator::new(pool, 9).draw(1, 8)[0];
+    let r = run_mix_with(mix, || Box::new(Spp::default()), 5_000, 25_000);
+    assert_eq!(r.cores.len(), 8);
+    for c in &r.cores {
+        assert!(c.instructions >= 25_000);
+    }
+    assert!(r.dram.reads > 0);
+    // Eight memory-intensive cores on one channel must keep the bus busy.
+    assert!(r.dram.bus_busy_cycles > 0);
+}
+
+#[test]
+fn per_core_address_spaces_do_not_alias() {
+    // Two cores run the *same* workload+seed; with per-core address offsets
+    // their LLC working sets are disjoint, so LLC misses are at least those
+    // of a single instance (no magical sharing).
+    let w = Workload::by_name("619.lbm_s").unwrap();
+    let solo = {
+        let mut cfg = SystemConfig::single_core();
+        cfg.llc.size_bytes = 4 * 1024 * 1024;
+        let trace = Box::new(TraceBuilder::new(w.clone()).seed(3).build());
+        let mut sim = Simulation::new(cfg);
+        sim.add_core("lbm", trace, Box::new(NoPrefetcher));
+        sim.run(5_000, 30_000)
+    };
+    let duo = {
+        let mut sim = Simulation::new(SystemConfig::multi_core(2));
+        for _ in 0..2 {
+            let trace = Box::new(TraceBuilder::new(w.clone()).seed(3).build());
+            sim.add_core("lbm", trace, Box::new(NoPrefetcher));
+        }
+        sim.run(5_000, 30_000)
+    };
+    assert!(
+        duo.llc.demand_misses() >= solo.llc.demand_misses(),
+        "duplicate workloads must not share cache lines: {} vs {}",
+        duo.llc.demand_misses(),
+        solo.llc.demand_misses()
+    );
+}
+
+#[test]
+fn prefetching_core_coexists_with_nonprefetching_core() {
+    let w1 = Workload::by_name("603.bwaves_s").unwrap();
+    let w2 = Workload::by_name("605.mcf_s").unwrap();
+    let mut sim = Simulation::new(SystemConfig::multi_core(2));
+    sim.add_core("bwaves", Box::new(TraceBuilder::new(w1).seed(1).build()), Box::new(Ppf::new(Spp::default())));
+    sim.add_core("mcf", Box::new(TraceBuilder::new(w2).seed(2).build()), Box::new(NoPrefetcher));
+    let r = sim.run(10_000, 50_000);
+    assert!(r.cores[0].prefetch.issued > 0, "core 0 prefetches");
+    assert_eq!(r.cores[1].prefetch.issued, 0, "core 1 does not");
+    assert!(r.cores[1].ipc() > 0.0);
+}

@@ -1,0 +1,103 @@
+//! Cross-crate checks that the implementation matches the paper's stated
+//! design constants and mechanisms.
+
+use ppf_repro::filter::{
+    adder_tree_depth, default_budget, Decision, FeatureInputs, FeatureKind, PpfConfig,
+    PpfFilter, WEIGHT_MAX, WEIGHT_MIN,
+};
+use ppf_repro::prefetchers::{update_signature, SppConfig};
+use ppf_repro::sim::SystemConfig;
+
+#[test]
+fn storage_budget_matches_table3() {
+    let b = default_budget();
+    assert_eq!(b.total_bits(), 322_240, "paper Table 3 total");
+    assert!((b.total_kb() - 39.34).abs() < 0.01);
+}
+
+#[test]
+fn weights_are_5_bit() {
+    assert_eq!(WEIGHT_MIN, -16);
+    assert_eq!(WEIGHT_MAX, 15);
+}
+
+#[test]
+fn nine_features_with_table3_sizes() {
+    let set = FeatureKind::default_set();
+    assert_eq!(set.len(), 9);
+    let total_weights: usize = set.iter().map(|f| f.table_entries()).sum();
+    // 4*4096 + 2*2048 + 2*1024 + 128
+    assert_eq!(total_weights, 22_656);
+    assert_eq!(total_weights * 5, 113_280);
+}
+
+#[test]
+fn adder_tree_is_4_deep_for_9_features() {
+    assert_eq!(adder_tree_depth(FeatureKind::default_set().len()), 4);
+}
+
+#[test]
+fn signature_formula_matches_paper() {
+    // NewSignature = (OldSignature << 3) XOR Delta, 12 bits.
+    assert_eq!(update_signature(0x001, 2), (0x001 << 3) ^ 2);
+    assert_eq!(update_signature(0xFFF, 1) & !0xFFF, 0);
+}
+
+#[test]
+fn spp_default_thresholds_match_paper() {
+    let cfg = SppConfig::default();
+    assert_eq!(cfg.prefetch_threshold, 25, "T_p = 25 (Sec 2.1)");
+    assert_eq!(cfg.fill_threshold, 90, "T_f = 90 (Sec 2.1)");
+    assert_eq!(cfg.signature_table_entries, 256);
+    assert_eq!(cfg.pattern_table_entries, 512);
+    assert_eq!(cfg.deltas_per_entry, 4);
+    assert_eq!(cfg.ghr_entries, 8);
+}
+
+#[test]
+fn ppf_tables_are_1024_direct_mapped() {
+    let cfg = PpfConfig::default();
+    assert_eq!(cfg.prefetch_table_entries, 1024);
+    assert_eq!(cfg.reject_table_entries, 1024);
+}
+
+#[test]
+fn paper_table1_configuration() {
+    let c = SystemConfig::single_core();
+    assert_eq!(c.l2.size_bytes, 512 * 1024);
+    assert_eq!(c.llc.size_bytes, 2 * 1024 * 1024);
+    assert!((c.dram.peak_bandwidth_gbps() - 12.8).abs() < 1e-9);
+    let c4 = SystemConfig::multi_core(4);
+    assert_eq!(c4.llc.size_bytes, 8 * 1024 * 1024);
+    let c8 = SystemConfig::multi_core(8);
+    assert_eq!(c8.llc.size_bytes, 16 * 1024 * 1024);
+    let low = SystemConfig::low_bandwidth();
+    assert!((low.dram.peak_bandwidth_gbps() - 3.2).abs() < 1e-9);
+    assert_eq!(SystemConfig::small_llc().llc.size_bytes, 512 * 1024);
+}
+
+#[test]
+fn fill_level_banding_matches_figure5() {
+    // sum >= tau_hi -> L2; tau_lo <= sum < tau_hi -> LLC; below -> reject.
+    let cfg = PpfConfig { tau_hi: 4, tau_lo: -4, ..PpfConfig::default() };
+    let mut f = PpfFilter::new(cfg);
+    // Cold weights: sum = 0 lands in the LLC band.
+    let (d, sum) = f.infer(&FeatureInputs::default());
+    assert_eq!(sum, 0);
+    assert_eq!(d, Decision::PrefetchLlc);
+}
+
+#[test]
+fn memory_intensive_subset_is_11_of_20() {
+    use ppf_repro::trace::{Suite, Workload};
+    assert_eq!(Workload::spec2017().len(), 20);
+    assert_eq!(Workload::memory_intensive(Suite::Spec2017).len(), 11);
+}
+
+#[test]
+fn validation_suites_match_paper_structure() {
+    use ppf_repro::trace::{cloudsuite, spec2006};
+    // CRC-2 CloudSuite: four 4-core applications.
+    assert_eq!(cloudsuite().len(), 4);
+    assert!(!spec2006().is_empty());
+}

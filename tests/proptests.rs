@@ -1,0 +1,249 @@
+//! Property-based tests of core data-structure invariants across crates.
+
+use ppf_repro::filter::{Decision, FeatureInputs, FeatureKind, PpfConfig, PpfFilter};
+use ppf_repro::prefetchers::update_signature;
+use ppf_repro::sim::cache::{Cache, FillKind};
+use ppf_repro::sim::config::CacheConfig;
+use ppf_repro::sim::dram::Dram;
+use ppf_repro::sim::rob::{Rob, PENDING};
+use ppf_repro::sim::DramConfig;
+use ppf_repro::trace::prng::SplitMix64;
+use proptest::prelude::*;
+
+proptest! {
+    /// Signatures always stay within 12 bits, for any input.
+    #[test]
+    fn signature_is_12_bits(sig in 0u16..=0xFFF, delta in -63i16..=63) {
+        let s = update_signature(sig, delta);
+        prop_assert_eq!(s & !0xFFF, 0);
+    }
+
+    /// Signature update is injective in the delta's 7-bit encoding: two
+    /// different small deltas from the same signature never collide.
+    #[test]
+    fn signature_separates_deltas(sig in 0u16..=0xFFF, a in 1i16..=63, b in 1i16..=63) {
+        prop_assume!(a != b);
+        prop_assert_ne!(update_signature(sig, a), update_signature(sig, b));
+    }
+
+    /// The PRNG is a pure function of its seed.
+    #[test]
+    fn prng_reproducible(seed in any::<u64>()) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// `next_below` respects its bound for arbitrary seeds and bounds.
+    #[test]
+    fn prng_bound(seed in any::<u64>(), bound in 1u64..=1_000_000) {
+        let mut g = SplitMix64::new(seed);
+        for _ in 0..16 {
+            prop_assert!(g.next_below(bound) < bound);
+        }
+    }
+
+    /// Cache occupancy never exceeds capacity and a filled block is
+    /// immediately observable, whatever the access sequence.
+    #[test]
+    fn cache_capacity_invariant(ops in proptest::collection::vec((0u64..256, any::<bool>()), 1..200)) {
+        let mut c = Cache::new(&CacheConfig {
+            size_bytes: 4096,
+            ways: 4,
+            latency: 1,
+            mshrs: 4,
+            policy: Default::default(),
+        });
+        let capacity = 4096 / 64;
+        for (block, is_fill) in ops {
+            if is_fill {
+                c.fill(block, FillKind::Demand, false);
+                prop_assert!(c.probe(block));
+            } else {
+                c.demand_access(block, false);
+            }
+            prop_assert!(c.occupancy() <= capacity);
+        }
+    }
+
+    /// Differential test: the LRU cache agrees with a trivial reference
+    /// model (per-set vectors with move-to-front) on hits, misses and
+    /// residency for arbitrary access/fill interleavings.
+    #[test]
+    fn cache_matches_reference_lru(ops in proptest::collection::vec((0u64..128, any::<bool>()), 1..400)) {
+        let sets = 8usize;
+        let ways = 2usize;
+        let mut cache = Cache::new(&CacheConfig {
+            size_bytes: (sets * ways * 64) as u64,
+            ways,
+            latency: 1,
+            mshrs: 4,
+            policy: Default::default(),
+        });
+        // Reference: one MRU-ordered vec per set.
+        let mut model: Vec<Vec<u64>> = vec![Vec::new(); sets];
+        for (block, is_fill) in ops {
+            let set = (block as usize) % sets;
+            if is_fill {
+                cache.fill(block, FillKind::Demand, false);
+                let s = &mut model[set];
+                if let Some(pos) = s.iter().position(|&b| b == block) {
+                    s.remove(pos);
+                } else if s.len() == ways {
+                    s.pop(); // evict LRU (tail)
+                }
+                s.insert(0, block);
+            } else {
+                let hit = cache.demand_access(block, false).hit;
+                let s = &mut model[set];
+                let model_hit = s.iter().position(|&b| b == block);
+                prop_assert_eq!(hit, model_hit.is_some(), "hit mismatch on {}", block);
+                if let Some(pos) = model_hit {
+                    let b = s.remove(pos);
+                    s.insert(0, b);
+                }
+            }
+            // Residency agrees for every block of the universe.
+            for b in 0..128u64 {
+                prop_assert_eq!(
+                    cache.probe(b),
+                    model[(b as usize) % sets].contains(&b),
+                    "residency mismatch on {}",
+                    b
+                );
+            }
+        }
+    }
+
+    /// Cache counters stay consistent: hits never exceed accesses.
+    #[test]
+    fn cache_counter_invariant(ops in proptest::collection::vec(0u64..64, 1..300)) {
+        let mut c = Cache::new(&CacheConfig {
+            size_bytes: 2048,
+            ways: 2,
+            latency: 1,
+            mshrs: 4,
+            policy: Default::default(),
+        });
+        for block in ops {
+            c.demand_access(block, false);
+            c.fill(block, FillKind::Demand, false);
+        }
+        prop_assert!(c.stats.demand_hits <= c.stats.demand_accesses);
+        prop_assert_eq!(
+            c.stats.demand_misses() + c.stats.demand_hits,
+            c.stats.demand_accesses
+        );
+    }
+
+    /// DRAM completions never precede the request and bus accounting only
+    /// grows.
+    #[test]
+    fn dram_completion_causal(blocks in proptest::collection::vec(0u64..100_000, 1..100)) {
+        let mut d = Dram::new(&DramConfig::default());
+        let mut busy = 0;
+        for (i, b) in blocks.into_iter().enumerate() {
+            let at = (i as u64) * 7;
+            let done = d.schedule_read(b, at);
+            prop_assert!(done > at, "completion {done} not after request {at}");
+            prop_assert!(d.stats.bus_busy_cycles >= busy);
+            busy = d.stats.bus_busy_cycles;
+        }
+    }
+
+    /// ROB: whatever interleaving of pushes/completions happens, retirement
+    /// is in order and never exceeds what was pushed.
+    #[test]
+    fn rob_retires_in_order(script in proptest::collection::vec((any::<bool>(), 0u64..50), 1..200)) {
+        let mut rob = Rob::new(32);
+        let mut pushed = 0u64;
+        let mut retired = 0u64;
+        let mut pending: Vec<u64> = Vec::new();
+        for (i, (push, when)) in script.into_iter().enumerate() {
+            let now = i as u64;
+            if push && rob.has_space() {
+                let seq = rob.push(if when % 3 == 0 { PENDING } else { now + when });
+                if when % 3 == 0 {
+                    pending.push(seq);
+                }
+                pushed += 1;
+            } else if let Some(seq) = pending.pop() {
+                rob.complete(seq, now);
+            }
+            retired += u64::from(rob.retire(now + 100, 4));
+            prop_assert!(retired <= pushed);
+        }
+    }
+
+    /// The perceptron filter's sum always stays within the theoretical
+    /// bounds and decisions follow the thresholds exactly.
+    #[test]
+    fn filter_sum_bounded(addr in any::<u64>(), pc in any::<u64>(), conf in 0u8..=100,
+                          delta in -63i16..=63, depth in 1u8..=16) {
+        let mut f = PpfFilter::new(PpfConfig::default());
+        let inputs = FeatureInputs {
+            trigger_addr: addr,
+            trigger_pc: pc,
+            confidence: conf,
+            delta,
+            depth,
+            ..FeatureInputs::default()
+        };
+        let (d, sum) = f.infer(&inputs);
+        let n = FeatureKind::default_set().len() as i32;
+        prop_assert!((-16 * n..=15 * n).contains(&sum));
+        let cfg = f.config();
+        match d {
+            Decision::PrefetchL2 => prop_assert!(sum >= cfg.tau_hi),
+            Decision::PrefetchLlc => prop_assert!(sum >= cfg.tau_lo && sum < cfg.tau_hi),
+            Decision::Reject => prop_assert!(sum < cfg.tau_lo),
+        }
+    }
+
+    /// Training moves sums monotonically in the trained direction.
+    #[test]
+    fn filter_training_monotone(addr in any::<u64>(), conf in 0u8..=100, up in any::<bool>()) {
+        let mut f = PpfFilter::new(PpfConfig::default());
+        let inputs = FeatureInputs {
+            trigger_addr: addr,
+            confidence: conf,
+            delta: 1,
+            depth: 1,
+            ..FeatureInputs::default()
+        };
+        let (_, s0) = f.infer(&inputs);
+        let block_addr = addr & !63;
+        for _ in 0..3 {
+            let (d, sum) = f.infer(&inputs);
+            f.record(block_addr, inputs, sum, d);
+            if up {
+                f.train_on_demand(block_addr);
+                // Re-arm the entry for the next round.
+                f.train_on_eviction(block_addr, true);
+            } else {
+                f.train_on_eviction(block_addr, false);
+            }
+        }
+        let (_, s1) = f.infer(&inputs);
+        if up {
+            prop_assert!(s1 >= s0);
+        } else {
+            prop_assert!(s1 <= s0);
+        }
+    }
+
+    /// Workload generators never panic and produce block-mappable addresses
+    /// for any seed.
+    #[test]
+    fn workloads_total_for_any_seed(seed in any::<u64>(), idx in 0usize..20) {
+        use ppf_repro::trace::{TraceBuilder, Workload};
+        let w = Workload::spec2017()[idx].clone();
+        let mut g = TraceBuilder::new(w).seed(seed).shrink(6).build();
+        for _ in 0..64 {
+            let r = g.next_record();
+            prop_assert!(r.addr > 0);
+        }
+    }
+}

@@ -4,7 +4,8 @@
 
 use ppf::{FeatureKind, Ppf, PpfConfig};
 use ppf_analysis::{geometric_mean, TextTable};
-use ppf_bench::{run_single, RunScale, Scheme};
+use ppf_bench::throughput::record_throughput;
+use ppf_bench::{run_single, runner, RunScale, Scheme};
 use ppf_prefetchers::Spp;
 use ppf_sim::{Prefetcher, Simulation, SystemConfig};
 use ppf_trace::{Suite, TraceBuilder, Workload};
@@ -22,20 +23,35 @@ fn main() {
     let scale = RunScale::from_args();
     let workloads = Workload::memory_intensive(Suite::Spec2017);
     let full = FeatureKind::default_set();
+    let threads = runner::thread_count();
+    let t0 = std::time::Instant::now();
+    let mut runs = 0u64;
 
     // Baselines per workload.
-    let mut base = Vec::new();
-    for w in &workloads {
-        base.push(run_single(SystemConfig::single_core(), w, Scheme::Baseline, scale).ipc());
-        eprintln!("  baseline {} done", w.name());
-    }
+    let base_jobs: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            move || {
+                let ipc =
+                    run_single(SystemConfig::single_core(), w, Scheme::Baseline, scale).ipc();
+                eprintln!("  baseline {} done", w.name());
+                ipc
+            }
+        })
+        .collect();
+    runs += base_jobs.len() as u64;
+    let base = runner::run_indexed(base_jobs, threads);
 
     let mut t = TextTable::new(vec!["configuration", "geomean speedup"]);
-    let eval = |label: String, features: Vec<FeatureKind>, t: &mut TextTable| {
-        let mut xs = Vec::new();
-        for (w, b) in workloads.iter().zip(&base) {
-            xs.push(run_with_features(w, features.clone(), scale) / b);
-        }
+    let mut eval = |label: String, features: Vec<FeatureKind>, t: &mut TextTable| {
+        let features = &features;
+        let jobs: Vec<_> = workloads
+            .iter()
+            .zip(&base)
+            .map(|(w, b)| move || run_with_features(w, features.clone(), scale) / b)
+            .collect();
+        runs += jobs.len() as u64;
+        let xs = runner::run_indexed(jobs, threads);
         let g = geometric_mean(&xs);
         eprintln!("  {label}: {g:.3}");
         t.row(vec![label, format!("{g:.3}")]);
@@ -46,6 +62,12 @@ fn main() {
         let subset: Vec<FeatureKind> = full.iter().copied().filter(|f| f != skip).collect();
         eval(format!("without {}", skip.label()), subset, &mut t);
     }
+    record_throughput(
+        "ablation_features",
+        threads,
+        t0.elapsed(),
+        runs * (scale.warmup + scale.measure),
+    );
     println!("\nFeature ablation — PPF geomean speedup, memory-intensive subset\n");
     print!("{}", t.render());
 }

@@ -4,7 +4,8 @@
 
 use ppf::{Ppf, PpfConfig};
 use ppf_analysis::{geometric_mean, TextTable};
-use ppf_bench::{run_single, RunScale, Scheme};
+use ppf_bench::throughput::record_throughput;
+use ppf_bench::{run_single, runner, RunScale, Scheme};
 use ppf_prefetchers::Spp;
 use ppf_sim::{Prefetcher, Simulation, SystemConfig};
 use ppf_trace::{Suite, TraceBuilder, Workload};
@@ -12,29 +13,50 @@ use ppf_trace::{Suite, TraceBuilder, Workload};
 fn main() {
     let scale = RunScale::from_args();
     let workloads = Workload::memory_intensive(Suite::Spec2017);
+    let threads = runner::thread_count();
+    let t0 = std::time::Instant::now();
     let mut t = TextTable::new(vec!["configuration", "geomean speedup"]);
-    let mut base = Vec::new();
-    for w in &workloads {
-        base.push(run_single(SystemConfig::single_core(), w, Scheme::Baseline, scale).ipc());
-        eprintln!("  baseline {} done", w.name());
-    }
+    let base_jobs: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            move || {
+                let ipc =
+                    run_single(SystemConfig::single_core(), w, Scheme::Baseline, scale).ipc();
+                eprintln!("  baseline {} done", w.name());
+                ipc
+            }
+        })
+        .collect();
+    let base = runner::run_indexed(base_jobs, threads);
     for (label, entries) in [("1024-entry reject table (paper)", 1024usize), ("disabled (1 entry)", 1)] {
-        let mut xs = Vec::new();
-        for (w, b) in workloads.iter().zip(&base) {
-            let cfg = PpfConfig {
-                reject_table_entries: entries.next_power_of_two(),
-                ..PpfConfig::default()
-            };
-            let pf: Box<dyn Prefetcher> = Box::new(Ppf::with_config(Spp::default(), cfg));
-            let trace = Box::new(TraceBuilder::new(w.clone()).seed(42).build());
-            let mut sim = Simulation::new(SystemConfig::single_core());
-            sim.add_core(w.name(), trace, pf);
-            xs.push(sim.run(scale.warmup, scale.measure).ipc() / b);
-        }
+        let jobs: Vec<_> = workloads
+            .iter()
+            .zip(&base)
+            .map(|(w, b)| {
+                move || {
+                    let cfg = PpfConfig {
+                        reject_table_entries: entries.next_power_of_two(),
+                        ..PpfConfig::default()
+                    };
+                    let pf: Box<dyn Prefetcher> = Box::new(Ppf::with_config(Spp::default(), cfg));
+                    let trace = Box::new(TraceBuilder::new(w.clone()).seed(42).build());
+                    let mut sim = Simulation::new(SystemConfig::single_core());
+                    sim.add_core(w.name(), trace, pf);
+                    sim.run(scale.warmup, scale.measure).ipc() / b
+                }
+            })
+            .collect();
+        let xs = runner::run_indexed(jobs, threads);
         let g = geometric_mean(&xs);
         eprintln!("  {label}: {g:.3}");
         t.row(vec![label.to_string(), format!("{g:.3}")]);
     }
+    record_throughput(
+        "ablation_reject_table",
+        threads,
+        t0.elapsed(),
+        3 * workloads.len() as u64 * (scale.warmup + scale.measure),
+    );
     println!("\nReject-table ablation — memory-intensive subset\n");
     print!("{}", t.render());
 }

@@ -4,7 +4,8 @@
 //! pollution), so their gains do not simply add.
 
 use ppf_analysis::{geometric_mean, TextTable};
-use ppf_bench::{run_single, RunScale, Scheme};
+use ppf_bench::throughput::record_throughput;
+use ppf_bench::{run_single, runner, RunScale, Scheme};
 use ppf_sim::{ReplacementPolicy, SystemConfig};
 use ppf_trace::{Suite, Workload};
 
@@ -18,6 +19,8 @@ fn cfg_with(policy: ReplacementPolicy) -> SystemConfig {
 fn main() {
     let scale = RunScale::from_args();
     let workloads = Workload::memory_intensive(Suite::Spec2017);
+    let threads = runner::thread_count();
+    let t0 = std::time::Instant::now();
     println!("Replacement-policy ablation — memory-intensive subset\n");
     let mut t = TextTable::new(vec!["policy", "SPP", "PPF"]);
     for (label, policy) in
@@ -25,16 +28,27 @@ fn main() {
     {
         let mut cells = vec![label.to_string()];
         for scheme in [Scheme::Spp, Scheme::Ppf] {
-            let mut xs = Vec::new();
-            for w in &workloads {
-                let base = run_single(cfg_with(policy), w, Scheme::Baseline, scale);
-                let r = run_single(cfg_with(policy), w, scheme, scale);
-                xs.push(r.ipc() / base.ipc());
-            }
+            let jobs: Vec<_> = workloads
+                .iter()
+                .map(|w| {
+                    move || {
+                        let base = run_single(cfg_with(policy), w, Scheme::Baseline, scale);
+                        let r = run_single(cfg_with(policy), w, scheme, scale);
+                        r.ipc() / base.ipc()
+                    }
+                })
+                .collect();
+            let xs = runner::run_indexed(jobs, threads);
             eprintln!("  {label}/{}: done", scheme.label());
             cells.push(format!("{:.3}", geometric_mean(&xs)));
         }
         t.row(cells);
     }
+    record_throughput(
+        "ablation_replacement",
+        threads,
+        t0.elapsed(),
+        8 * workloads.len() as u64 * (scale.warmup + scale.measure),
+    );
     print!("{}", t.render());
 }

@@ -4,7 +4,8 @@
 
 use ppf::{FeatureKind, Ppf, PpfConfig, StorageBudget};
 use ppf_analysis::{geometric_mean, TextTable};
-use ppf_bench::{run_single, RunScale, Scheme};
+use ppf_bench::throughput::record_throughput;
+use ppf_bench::{run_single, runner, RunScale, Scheme};
 use ppf_prefetchers::{Spp, SppConfig};
 use ppf_sim::{Prefetcher, Simulation, SystemConfig};
 use ppf_trace::{Suite, TraceBuilder, Workload};
@@ -12,11 +13,21 @@ use ppf_trace::{Suite, TraceBuilder, Workload};
 fn main() {
     let scale = RunScale::from_args();
     let workloads = Workload::memory_intensive(Suite::Spec2017);
-    let mut base = Vec::new();
-    for w in &workloads {
-        base.push(run_single(SystemConfig::single_core(), w, Scheme::Baseline, scale).ipc());
-        eprintln!("  baseline {} done", w.name());
-    }
+    let threads = runner::thread_count();
+    let t0 = std::time::Instant::now();
+    let mut runs = workloads.len() as u64;
+    let base_jobs: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            move || {
+                let ipc =
+                    run_single(SystemConfig::single_core(), w, Scheme::Baseline, scale).ipc();
+                eprintln!("  baseline {} done", w.name());
+                ipc
+            }
+        })
+        .collect();
+    let base = runner::run_indexed(base_jobs, threads);
 
     println!("Table-size ablation — PPF geomean speedup vs. storage\n");
     let mut t = TextTable::new(vec!["metadata tables", "features", "storage (KB)", "geomean"]);
@@ -41,15 +52,23 @@ fn main() {
                 ..PpfConfig::default()
             };
             let kb = StorageBudget::compute(&SppConfig::default(), &cfg).total_kb();
-            let mut xs = Vec::new();
-            for (w, b) in workloads.iter().zip(&base) {
-                let pf: Box<dyn Prefetcher> =
-                    Box::new(Ppf::with_config(Spp::default(), cfg.clone()));
-                let trace = Box::new(TraceBuilder::new(w.clone()).seed(42).build());
-                let mut sim = Simulation::new(SystemConfig::single_core());
-                sim.add_core(w.name(), trace, pf);
-                xs.push(sim.run(scale.warmup, scale.measure).ipc() / b);
-            }
+            let cfg = &cfg;
+            let jobs: Vec<_> = workloads
+                .iter()
+                .zip(&base)
+                .map(|(w, b)| {
+                    move || {
+                        let pf: Box<dyn Prefetcher> =
+                            Box::new(Ppf::with_config(Spp::default(), cfg.clone()));
+                        let trace = Box::new(TraceBuilder::new(w.clone()).seed(42).build());
+                        let mut sim = Simulation::new(SystemConfig::single_core());
+                        sim.add_core(w.name(), trace, pf);
+                        sim.run(scale.warmup, scale.measure).ipc() / b
+                    }
+                })
+                .collect();
+            runs += jobs.len() as u64;
+            let xs = runner::run_indexed(jobs, threads);
             let g = geometric_mean(&xs);
             eprintln!("  {fs_label}/{table_entries}: {g:.3}");
             t.row(vec![
@@ -60,5 +79,6 @@ fn main() {
             ]);
         }
     }
+    record_throughput("ablation_tables", threads, t0.elapsed(), runs * (scale.warmup + scale.measure));
     print!("{}", t.render());
 }

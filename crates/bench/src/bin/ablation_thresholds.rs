@@ -3,31 +3,48 @@
 
 use ppf::{Ppf, PpfConfig};
 use ppf_analysis::{geometric_mean, TextTable};
-use ppf_bench::{run_single, RunScale, Scheme};
+use ppf_bench::throughput::record_throughput;
+use ppf_bench::{run_single, runner, RunScale, Scheme};
 use ppf_prefetchers::Spp;
 use ppf_sim::{Prefetcher, Simulation, SystemConfig};
 use ppf_trace::{Suite, TraceBuilder, Workload};
 
 fn geomean_speedup(workloads: &[Workload], base: &[f64], cfg: &PpfConfig, scale: RunScale) -> f64 {
-    let mut xs = Vec::new();
-    for (w, b) in workloads.iter().zip(base) {
-        let pf: Box<dyn Prefetcher> = Box::new(Ppf::with_config(Spp::default(), cfg.clone()));
-        let trace = Box::new(TraceBuilder::new(w.clone()).seed(42).build());
-        let mut sim = Simulation::new(SystemConfig::single_core());
-        sim.add_core(w.name(), trace, pf);
-        xs.push(sim.run(scale.warmup, scale.measure).ipc() / b);
-    }
+    let jobs: Vec<_> = workloads
+        .iter()
+        .zip(base)
+        .map(|(w, b)| {
+            move || {
+                let pf: Box<dyn Prefetcher> =
+                    Box::new(Ppf::with_config(Spp::default(), cfg.clone()));
+                let trace = Box::new(TraceBuilder::new(w.clone()).seed(42).build());
+                let mut sim = Simulation::new(SystemConfig::single_core());
+                sim.add_core(w.name(), trace, pf);
+                sim.run(scale.warmup, scale.measure).ipc() / b
+            }
+        })
+        .collect();
+    let xs = runner::run_indexed(jobs, runner::thread_count());
     geometric_mean(&xs)
 }
 
 fn main() {
     let scale = RunScale::from_args();
     let workloads = Workload::memory_intensive(Suite::Spec2017);
-    let mut base = Vec::new();
-    for w in &workloads {
-        base.push(run_single(SystemConfig::single_core(), w, Scheme::Baseline, scale).ipc());
-        eprintln!("  baseline {} done", w.name());
-    }
+    let threads = runner::thread_count();
+    let t0 = std::time::Instant::now();
+    let base_jobs: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            move || {
+                let ipc =
+                    run_single(SystemConfig::single_core(), w, Scheme::Baseline, scale).ipc();
+                eprintln!("  baseline {} done", w.name());
+                ipc
+            }
+        })
+        .collect();
+    let base = runner::run_indexed(base_jobs, threads);
 
     println!("Threshold ablation — PPF geomean speedup, memory-intensive subset\n");
     let mut t = TextTable::new(vec!["tau_hi", "tau_lo", "theta_p", "theta_n", "geomean"]);
@@ -43,5 +60,12 @@ fn main() {
         eprintln!("  theta ({p},{n}): {g:.3}");
         t.row(vec!["-5".into(), "-15".into(), p.to_string(), n.to_string(), format!("{g:.3}")]);
     }
+    // 1 baseline sweep + 8 threshold configurations over the subset.
+    record_throughput(
+        "ablation_thresholds",
+        threads,
+        t0.elapsed(),
+        9 * workloads.len() as u64 * (scale.warmup + scale.measure),
+    );
     print!("{}", t.render());
 }

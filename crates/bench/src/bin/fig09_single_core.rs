@@ -6,7 +6,8 @@
 //! lookahead depths (SPP vs PPF) and the xalancbmk prefetch-count ratios.
 
 use ppf_analysis::{geometric_mean, percent_gain, TextTable};
-use ppf_bench::{run_ppf_instrumented, run_spp_instrumented, run_suite, RunScale, Scheme};
+use ppf_bench::throughput::record_throughput;
+use ppf_bench::{run_ppf_instrumented, run_spp_instrumented, run_suite, runner, RunScale, Scheme};
 use ppf_sim::SystemConfig;
 use ppf_trace::Workload;
 
@@ -14,8 +15,21 @@ fn main() {
     let scale = RunScale::from_args();
     let verbose = std::env::args().any(|a| a == "--verbose");
     let workloads = Workload::spec2017();
-    eprintln!("Figure 9: {} workloads x {} schemes...", workloads.len(), Scheme::all().len());
+    let threads = runner::thread_count();
+    eprintln!(
+        "Figure 9: {} workloads x {} schemes on {} thread(s)...",
+        workloads.len(),
+        Scheme::all().len(),
+        threads
+    );
+    let t0 = std::time::Instant::now();
     let rows = run_suite(&workloads, SystemConfig::single_core, scale);
+    record_throughput(
+        "fig09_single_core",
+        threads,
+        t0.elapsed(),
+        (workloads.len() * Scheme::all().len()) as u64 * (scale.warmup + scale.measure),
+    );
 
     let mut table = TextTable::new(vec!["app", "BOP", "DA-AMPM", "SPP", "PPF"]);
     for row in &rows {

@@ -2,15 +2,28 @@
 //! prefetcher on the SPEC CPU 2017 models.
 
 use ppf_analysis::{mean, TextTable};
-use ppf_bench::{coverage, run_suite, RunScale, Scheme};
+use ppf_bench::throughput::record_throughput;
+use ppf_bench::{coverage, run_suite, runner, RunScale, Scheme};
 use ppf_sim::SystemConfig;
 use ppf_trace::Workload;
 
 fn main() {
     let scale = RunScale::from_args();
     let workloads = Workload::spec2017();
-    eprintln!("Figure 10: running {} workloads x 5 schemes...", workloads.len());
+    let threads = runner::thread_count();
+    eprintln!(
+        "Figure 10: running {} workloads x 5 schemes on {} thread(s)...",
+        workloads.len(),
+        threads
+    );
+    let t0 = std::time::Instant::now();
     let rows = run_suite(&workloads, SystemConfig::single_core, scale);
+    record_throughput(
+        "fig10_coverage",
+        threads,
+        t0.elapsed(),
+        (workloads.len() * Scheme::all().len()) as u64 * (scale.warmup + scale.measure),
+    );
 
     let mut t = TextTable::new(vec!["scheme", "L2 coverage", "LLC coverage"]);
     for s in Scheme::prefetchers() {

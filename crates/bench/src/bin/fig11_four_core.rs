@@ -2,35 +2,29 @@
 //! mixes, sorted ascending per scheme, plus geometric means. Also reports
 //! the fully-random-mix geomeans the paper quotes in the text.
 
-use ppf_analysis::{geometric_mean, percent_gain, sorted_series, weighted_speedup};
-use ppf_bench::{isolated_ipc, run_mix, RunScale, Scheme};
+use ppf_analysis::{geometric_mean, percent_gain, sorted_series};
+use ppf_bench::throughput::record_throughput;
+use ppf_bench::{run_mix_suite, runner, RunScale, Scheme};
 use ppf_trace::{MixGenerator, Suite, Workload, WorkloadMix};
-use std::collections::HashMap;
 
 fn run_batch(label: &str, mixes: &[WorkloadMix], scale: RunScale) {
-    // Isolated IPCs are shared across mixes; cache per workload name.
-    let mut isolated: HashMap<String, f64> = HashMap::new();
     let cores = mixes[0].cores();
-    let mut per_scheme: Vec<(Scheme, Vec<f64>)> =
-        Scheme::prefetchers().into_iter().map(|s| (s, Vec::new())).collect();
+    let threads = runner::thread_count();
+    eprintln!("{label}: {} mixes x 5 schemes on {threads} thread(s)...", mixes.len());
+    let t0 = std::time::Instant::now();
+    let (runs, instructions) = run_mix_suite(mixes, cores, scale);
+    record_throughput(
+        &format!("fig11_four_core[{label}]"),
+        threads,
+        t0.elapsed(),
+        instructions,
+    );
 
-    for mix in mixes {
-        for w in &mix.workloads {
-            isolated
-                .entry(w.name().to_string())
-                .or_insert_with(|| isolated_ipc(w, cores, scale));
-        }
-        let iso: Vec<f64> = mix.workloads.iter().map(|w| isolated[w.name()]).collect();
-        let base = run_mix(mix, Scheme::Baseline, scale);
-        let base_ipc: Vec<f64> = base.cores.iter().map(|c| c.ipc()).collect();
-        for (s, acc) in &mut per_scheme {
-            let r = run_mix(mix, *s, scale);
-            let ipc: Vec<f64> = r.cores.iter().map(|c| c.ipc()).collect();
-            let ws = weighted_speedup(&ipc, &base_ipc, &iso);
-            eprintln!("  {} {} {}: {:.3}", label, mix.label(), s.label(), ws);
-            acc.push(ws);
-        }
-    }
+    let per_scheme: Vec<(Scheme, Vec<f64>)> = Scheme::prefetchers()
+        .into_iter()
+        .enumerate()
+        .map(|(k, s)| (s, runs.iter().map(|r| r.speedups[k].1).collect()))
+        .collect();
 
     println!("\n== {label} ==");
     for (s, xs) in &per_scheme {

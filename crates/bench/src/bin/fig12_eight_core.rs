@@ -1,10 +1,10 @@
 //! Figure 12 — weighted speedups on 8-core memory-intensive SPEC CPU 2017
 //! mixes (the paper runs a shorter region at 8 cores; so do we).
 
-use ppf_analysis::{geometric_mean, percent_gain, sorted_series, weighted_speedup};
-use ppf_bench::{isolated_ipc, run_mix, RunScale, Scheme};
+use ppf_analysis::{geometric_mean, percent_gain, sorted_series};
+use ppf_bench::throughput::record_throughput;
+use ppf_bench::{run_mix_suite, runner, RunScale, Scheme};
 use ppf_trace::{MixGenerator, Suite, Workload};
-use std::collections::HashMap;
 
 fn main() {
     let mut scale = RunScale::from_args();
@@ -14,24 +14,16 @@ fn main() {
     let intensive = Workload::memory_intensive(Suite::Spec2017);
     let mixes = MixGenerator::new(intensive, 3).draw(scale.mixes, 8);
 
-    let mut isolated: HashMap<String, f64> = HashMap::new();
-    let mut per_scheme: Vec<(Scheme, Vec<f64>)> =
-        Scheme::prefetchers().into_iter().map(|s| (s, Vec::new())).collect();
-    for mix in &mixes {
-        for w in &mix.workloads {
-            isolated.entry(w.name().to_string()).or_insert_with(|| isolated_ipc(w, 8, scale));
-        }
-        let iso: Vec<f64> = mix.workloads.iter().map(|w| isolated[w.name()]).collect();
-        let base = run_mix(mix, Scheme::Baseline, scale);
-        let base_ipc: Vec<f64> = base.cores.iter().map(|c| c.ipc()).collect();
-        for (s, acc) in &mut per_scheme {
-            let r = run_mix(mix, *s, scale);
-            let ipc: Vec<f64> = r.cores.iter().map(|c| c.ipc()).collect();
-            let ws = weighted_speedup(&ipc, &base_ipc, &iso);
-            eprintln!("  {} {}: {:.3}", mix.label(), s.label(), ws);
-            acc.push(ws);
-        }
-    }
+    let threads = runner::thread_count();
+    eprintln!("Figure 12: {} mixes x 5 schemes on {threads} thread(s)...", mixes.len());
+    let t0 = std::time::Instant::now();
+    let (runs, instructions) = run_mix_suite(&mixes, 8, scale);
+    record_throughput("fig12_eight_core", threads, t0.elapsed(), instructions);
+    let per_scheme: Vec<(Scheme, Vec<f64>)> = Scheme::prefetchers()
+        .into_iter()
+        .enumerate()
+        .map(|(k, s)| (s, runs.iter().map(|r| r.speedups[k].1).collect()))
+        .collect();
 
     println!("Figure 12 — 8-core weighted speedups, memory-intensive mixes");
     println!("(paper: PPF +37.6% over baseline, +9.65% over SPP)\n");

@@ -2,39 +2,41 @@
 //! (a) CloudSuite-like 4-core server applications, (b) SPEC CPU 2006-like
 //! single-core models (memory-intensive subset and full set).
 
-use ppf_analysis::{geometric_mean, percent_gain, weighted_speedup, TextTable};
-use ppf_bench::{isolated_ipc, run_mix, run_suite, RunScale, Scheme};
+use ppf_analysis::{geometric_mean, percent_gain, TextTable};
+use ppf_bench::throughput::record_throughput;
+use ppf_bench::{run_mix_suite, run_suite, runner, RunScale, Scheme};
 use ppf_sim::SystemConfig;
 use ppf_trace::{Suite, Workload, WorkloadMix};
 
 fn main() {
     let scale = RunScale::from_args();
+    let threads = runner::thread_count();
 
     // (a) CloudSuite: each server app runs in 4-core rate mode.
     println!("Figure 13(a) — CloudSuite-like 4-core applications\n");
+    let cloud = Workload::suite_all(Suite::CloudSuite);
+    let mixes: Vec<WorkloadMix> = cloud
+        .iter()
+        .map(|w| WorkloadMix { id: 0, workloads: vec![w.clone(); 4] })
+        .collect();
+    eprintln!("Figure 13(a): {} apps x 5 schemes on {threads} thread(s)...", cloud.len());
+    let t0 = std::time::Instant::now();
+    let (runs, instructions) = run_mix_suite(&mixes, 4, scale);
+    record_throughput("fig13_cloudsuite", threads, t0.elapsed(), instructions);
+
     let mut t = TextTable::new(vec!["app", "BOP", "DA-AMPM", "SPP", "PPF"]);
-    let mut per_scheme: Vec<(Scheme, Vec<f64>)> =
-        Scheme::prefetchers().into_iter().map(|s| (s, Vec::new())).collect();
-    for w in Workload::suite_all(Suite::CloudSuite) {
-        let mix = WorkloadMix { id: 0, workloads: vec![w.clone(); 4] };
-        let iso = vec![isolated_ipc(&w, 4, scale); 4];
-        let base = run_mix(&mix, Scheme::Baseline, scale);
-        let base_ipc: Vec<f64> = base.cores.iter().map(|c| c.ipc()).collect();
+    for (w, run) in cloud.iter().zip(&runs) {
         let mut cells = vec![w.name().to_string()];
-        for (s, acc) in &mut per_scheme {
-            let r = run_mix(&mix, *s, scale);
-            let ipc: Vec<f64> = r.cores.iter().map(|c| c.ipc()).collect();
-            let ws = weighted_speedup(&ipc, &base_ipc, &iso);
+        for (_, ws) in &run.speedups {
             cells.push(format!("{ws:.3}"));
-            acc.push(ws);
         }
-        eprintln!("  {} done", w.name());
         t.row(cells);
     }
     let mut cells = vec!["geomean".to_string()];
     let mut cloud_geo = Vec::new();
-    for (_, xs) in &per_scheme {
-        let g = geometric_mean(xs);
+    for (k, _) in Scheme::prefetchers().into_iter().enumerate() {
+        let xs: Vec<f64> = runs.iter().map(|r| r.speedups[k].1).collect();
+        let g = geometric_mean(&xs);
         cloud_geo.push(g);
         cells.push(format!("{g:.3}"));
     }
@@ -48,7 +50,14 @@ fn main() {
     // (b) SPEC CPU 2006.
     println!("Figure 13(b) — SPEC CPU 2006-like single-core models\n");
     let workloads = Workload::suite_all(Suite::Spec2006);
+    let t0 = std::time::Instant::now();
     let rows = run_suite(&workloads, SystemConfig::single_core, scale);
+    record_throughput(
+        "fig13_spec2006",
+        threads,
+        t0.elapsed(),
+        (workloads.len() * Scheme::all().len()) as u64 * (scale.warmup + scale.measure),
+    );
     let mut t = TextTable::new(vec!["set", "BOP", "DA-AMPM", "SPP", "PPF"]);
     for (label, intensive) in [("mem-intensive", true), ("full set", false)] {
         let mut cells = vec![label.to_string()];

@@ -25,6 +25,39 @@ use ppf_sim::{NoPrefetcher, Prefetcher, Simulation, SystemConfig};
 use ppf_trace::{load_trace_csv, record_trace, record_trace_csv, AccessPattern, TraceBuilder, TraceFile, Workload};
 use std::process::ExitCode;
 
+const USAGE: &str = "\
+ppfsim — trace-driven cache/prefetch simulator (PPF, ISCA 2019 reproduction)
+
+USAGE:
+    ppfsim [OPTIONS]
+
+OPTIONS:
+    --workload NAME[,NAME...]   workload model per core   [default: 603.bwaves_s]
+                                (N comma-separated names build an N-core system)
+    --trace FILE                replay a recorded trace instead of a model
+                                (single-core only; .csv = text, else binary PPFT)
+    --prefetcher NAME           none|nextline|stride|bop|ampm|sms|sandbox|vldp|
+                                spp|ppf|ppf-vldp|rosenblatt   [default: ppf]
+    --config NAME               default|lowbw|smallllc        [default: default]
+    --warmup N                  warmup instructions per core  [default: 200000]
+    --measure N                 measured instructions per core [default: 1000000]
+    --seed N                    trace-generation seed         [default: 42]
+    --record FILE               dump the workload to a trace file and exit
+                                (.csv writes `pc,addr,kind,work,dependent` text)
+    --records N                 records to dump with --record [default: 1000000]
+    --list                      print every available workload model and exit
+    -h, --help                  print this help and exit
+
+EXAMPLES:
+    ppfsim --workload 605.mcf_s --prefetcher spp
+    ppfsim --workload 619.lbm_s,605.mcf_s,621.wrf_s,654.roms_s --prefetcher ppf
+    ppfsim --workload 603.bwaves_s --record bwaves.ppft --records 500000
+    ppfsim --trace bwaves.ppft --prefetcher ppf
+
+The figure/ablation binaries (fig09_single_core, ...) accept --quick for a
+smoke-test scale and --threads N (or PPF_THREADS=N) to set sweep parallelism.
+";
+
 #[derive(Debug)]
 struct Args {
     workloads: Vec<String>,
@@ -81,7 +114,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--list" => args.list = true,
             "--help" | "-h" => {
-                println!("see the module docs: cargo doc -p ppf-bench --bin ppfsim");
+                print!("{}", USAGE);
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),

@@ -9,6 +9,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod runner;
+pub mod throughput;
+
 use ppf::{Ppf, PpfConfig};
 use ppf_prefetchers::{Bop, DaAmpm, Spp, SppConfig};
 use ppf_sim::{
@@ -230,36 +233,150 @@ impl SuiteRow {
 
 /// Runs every workload under every scheme on `make_cfg()`-configured
 /// single-core systems, reporting progress on stderr.
-pub fn run_suite<F: Fn() -> SystemConfig>(
+///
+/// The (workload × scheme) grid runs on [`runner::thread_count`] worker
+/// threads; results are identical to a sequential run (every simulation is
+/// independent and results are collected by grid index). Use `--threads N`
+/// or `PPF_THREADS` to override the thread count.
+pub fn run_suite<F: Fn() -> SystemConfig + Sync>(
     workloads: &[Workload],
     make_cfg: F,
     scale: RunScale,
 ) -> Vec<SuiteRow> {
-    workloads
+    run_suite_with_threads(workloads, make_cfg, scale, runner::thread_count())
+}
+
+/// [`run_suite`] with an explicit worker-thread count (`<= 1` runs
+/// sequentially on the calling thread).
+pub fn run_suite_with_threads<F: Fn() -> SystemConfig + Sync>(
+    workloads: &[Workload],
+    make_cfg: F,
+    scale: RunScale,
+    threads: usize,
+) -> Vec<SuiteRow> {
+    let make_cfg = &make_cfg;
+    let jobs: Vec<_> = workloads
         .iter()
-        .map(|w| {
-            let reports = Scheme::all()
-                .into_iter()
-                .map(|s| {
-                    let t0 = std::time::Instant::now();
-                    let r = run_single(make_cfg(), w, s, scale);
-                    eprintln!(
-                        "  {} / {}: ipc {:.3} ({} ms)",
-                        w.name(),
-                        s.label(),
-                        r.ipc(),
-                        t0.elapsed().as_millis()
-                    );
-                    (s, r)
-                })
-                .collect();
-            SuiteRow {
-                app: w.name().to_string(),
-                mem_intensive: w.is_memory_intensive(),
-                reports,
+        .flat_map(|w| Scheme::all().into_iter().map(move |s| (w, s)))
+        .map(|(w, s)| {
+            move || {
+                let t0 = std::time::Instant::now();
+                let r = run_single(make_cfg(), w, s, scale);
+                eprintln!(
+                    "  {} / {}: ipc {:.3} ({} ms)",
+                    w.name(),
+                    s.label(),
+                    r.ipc(),
+                    t0.elapsed().as_millis()
+                );
+                (s, r)
             }
         })
+        .collect();
+    let mut reports = runner::run_indexed(jobs, threads).into_iter();
+    workloads
+        .iter()
+        .map(|w| SuiteRow {
+            app: w.name().to_string(),
+            mem_intensive: w.is_memory_intensive(),
+            reports: reports.by_ref().take(Scheme::all().len()).collect(),
+        })
         .collect()
+}
+
+/// Weighted speedups of one multi-programmed mix under every prefetcher.
+#[derive(Debug)]
+pub struct MixRun {
+    /// The mix's display label.
+    pub label: String,
+    /// Weighted speedup over the no-prefetch baseline per scheme, in
+    /// [`Scheme::prefetchers`] order.
+    pub speedups: Vec<(Scheme, f64)>,
+}
+
+/// Runs every mix under every scheme (plus the baseline) on `cores`-core
+/// systems and computes weighted speedups against per-workload isolated
+/// IPCs, parallelizing across [`runner::thread_count`] workers.
+///
+/// Returns the mix results in input order plus the nominal number of
+/// simulated instructions (for throughput accounting).
+pub fn run_mix_suite(
+    mixes: &[WorkloadMix],
+    cores: usize,
+    scale: RunScale,
+) -> (Vec<MixRun>, u64) {
+    run_mix_suite_with_threads(mixes, cores, scale, runner::thread_count())
+}
+
+/// [`run_mix_suite`] with an explicit worker-thread count.
+pub fn run_mix_suite_with_threads(
+    mixes: &[WorkloadMix],
+    cores: usize,
+    scale: RunScale,
+    threads: usize,
+) -> (Vec<MixRun>, u64) {
+    // Isolated IPCs are shared across mixes; compute each unique workload
+    // once, in parallel, in first-appearance order.
+    let mut unique: Vec<&Workload> = Vec::new();
+    for mix in mixes {
+        for w in &mix.workloads {
+            if !unique.iter().any(|u| u.name() == w.name()) {
+                unique.push(w);
+            }
+        }
+    }
+    let iso_jobs: Vec<_> = unique
+        .iter()
+        .map(|w| {
+            move || {
+                let ipc = isolated_ipc(w, cores, scale);
+                eprintln!("  isolated {}: ipc {:.3}", w.name(), ipc);
+                ipc
+            }
+        })
+        .collect();
+    let iso_ipcs = runner::run_indexed(iso_jobs, threads);
+    let isolated: std::collections::HashMap<&str, f64> =
+        unique.iter().map(|w| w.name()).zip(iso_ipcs).collect();
+
+    // The (mix × scheme) grid, baseline included.
+    let schemes = Scheme::all();
+    let jobs: Vec<_> = mixes
+        .iter()
+        .flat_map(|mix| schemes.into_iter().map(move |s| (mix, s)))
+        .map(|(mix, s)| {
+            move || {
+                let r = run_mix(mix, s, scale);
+                eprintln!("  {} / {}: done", mix.label(), s.label());
+                r.cores.iter().map(|c| c.ipc()).collect::<Vec<f64>>()
+            }
+        })
+        .collect();
+    let all_ipcs = runner::run_indexed(jobs, threads);
+
+    let runs = mixes
+        .iter()
+        .enumerate()
+        .map(|(m, mix)| {
+            let iso: Vec<f64> = mix.workloads.iter().map(|w| isolated[w.name()]).collect();
+            let grid = &all_ipcs[m * schemes.len()..(m + 1) * schemes.len()];
+            let base_idx = schemes.iter().position(|s| *s == Scheme::Baseline).expect("baseline");
+            let base_ipc = &grid[base_idx];
+            let speedups = Scheme::prefetchers()
+                .into_iter()
+                .map(|s| {
+                    let idx = schemes.iter().position(|x| *x == s).expect("scheme");
+                    (s, ppf_analysis::weighted_speedup(&grid[idx], base_ipc, &iso))
+                })
+                .collect();
+            MixRun { label: mix.label(), speedups }
+        })
+        .collect();
+
+    let per_mix = (cores as u64) * (scale.warmup + scale.measure / 2);
+    let instructions = (unique.len() as u64) * (scale.warmup + scale.measure)
+        + (mixes.len() as u64) * (schemes.len() as u64) * per_mix;
+    (runs, instructions)
 }
 
 /// Coverage of a prefetching run versus a baseline run at one cache level:

@@ -1,0 +1,119 @@
+//! A dependency-free parallel job runner for experiment sweeps.
+//!
+//! Experiments are embarrassingly parallel grids of independent simulations
+//! (workload × scheme, mix × scheme). Each job is deterministic and owns all
+//! of its state, so the only requirement for reproducibility is that results
+//! land in the same order as a sequential run. [`run_indexed`] guarantees
+//! that: jobs are pulled from a shared queue by `N` scoped worker threads
+//! and each result is written to its job's original index, so output is
+//! bit-identical to sequential execution regardless of scheduling.
+
+use std::sync::Mutex;
+
+/// Resolves the worker-thread count for experiment sweeps.
+///
+/// Priority: a `--threads N` command-line flag, then the `PPF_THREADS`
+/// environment variable, then [`std::thread::available_parallelism`].
+/// Invalid values fall through to the next source; the result is always at
+/// least 1.
+pub fn thread_count() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            if let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+    }
+    if let Ok(v) = std::env::var("PPF_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs every job and returns the results in job order.
+///
+/// With `threads <= 1` (or a single job) the jobs run sequentially on the
+/// calling thread — the zero-risk fallback. Otherwise `min(threads, jobs)`
+/// scoped workers drain a shared queue; a worker that finishes a long job
+/// late still writes its result to the job's own slot, so the returned
+/// vector is identical to what the sequential path produces.
+///
+/// # Panics
+///
+/// Propagates a panic from any job (the scope joins all workers first).
+pub fn run_indexed<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+    let workers = threads.min(jobs.len());
+    let n = jobs.len();
+    let queue = Mutex::new(jobs.into_iter().enumerate());
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Take the lock only long enough to pop one job.
+                let next = queue.lock().expect("queue poisoned").next();
+                let Some((i, job)) = next else { break };
+                let result = job();
+                *slots[i].lock().expect("slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("slot poisoned").expect("every job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_job_order() {
+        let jobs: Vec<_> = (0..37)
+            .map(|i| {
+                move || {
+                    // Stagger finish times so fast jobs overtake slow ones.
+                    if i % 5 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    i * 10
+                }
+            })
+            .collect();
+        let got = run_indexed(jobs, 4);
+        let want: Vec<i32> = (0..37).map(|i| i * 10).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sequential_fallback_matches() {
+        let mk = || (0..16).map(|i| move || i * i).collect::<Vec<_>>();
+        assert_eq!(run_indexed(mk(), 1), run_indexed(mk(), 8));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<fn() -> u8> = Vec::new();
+        assert!(run_indexed(empty, 4).is_empty());
+        assert_eq!(run_indexed(vec![|| 7u8], 4), vec![7]);
+    }
+
+    #[test]
+    fn more_threads_than_jobs() {
+        assert_eq!(run_indexed(vec![|| 1, || 2], 64), vec![1, 2]);
+    }
+}

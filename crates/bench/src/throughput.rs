@@ -1,0 +1,159 @@
+//! Machine-readable throughput records for the experiment binaries.
+//!
+//! Every figure/ablation run appends one JSON object to
+//! `results/bench_throughput.json` (a JSON array), recording how many
+//! simulated instructions the sweep covered and how long it took on the
+//! host. The file is the repository's performance baseline: compare
+//! `instr_per_second` across commits to spot simulator regressions, and
+//! across `threads` values to see harness scaling.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Default location of the throughput log, relative to the working
+/// directory (the repository root for `cargo run` invocations).
+pub const THROUGHPUT_LOG: &str = "results/bench_throughput.json";
+
+/// One appended measurement.
+#[derive(Debug, Clone)]
+pub struct ThroughputRecord {
+    /// Experiment name (binary name, e.g. `fig09_single_core`).
+    pub experiment: String,
+    /// Worker threads the sweep ran with.
+    pub threads: usize,
+    /// Wall-clock time of the sweep.
+    pub wall: Duration,
+    /// Nominal simulated instructions across all runs in the sweep
+    /// (per-core warmup + measure, summed over cores and runs).
+    pub simulated_instructions: u64,
+}
+
+impl ThroughputRecord {
+    /// Simulated instructions per host second.
+    pub fn instr_per_second(&self) -> f64 {
+        self.simulated_instructions as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        let unix_time = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        format!(
+            "{{\"experiment\":\"{}\",\"threads\":{},\"wall_seconds\":{:.3},\"simulated_instructions\":{},\"instr_per_second\":{:.0},\"unix_time\":{}}}",
+            self.experiment.replace('"', ""),
+            self.threads,
+            self.wall.as_secs_f64(),
+            self.simulated_instructions,
+            self.instr_per_second(),
+            unix_time,
+        )
+    }
+}
+
+/// Appends `record` to the JSON array at `path`, creating the file (and its
+/// parent directory) if needed. The array is maintained textually — the
+/// existing content is kept verbatim and the new object is spliced before
+/// the closing bracket — so no JSON parser is required.
+pub fn append_record(path: &Path, record: &ThroughputRecord) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let entry = record.to_json();
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            match trimmed.strip_suffix(']') {
+                Some(head) => {
+                    let head = head.trim_end();
+                    if head.ends_with('[') {
+                        format!("{head}\n  {entry}\n]\n")
+                    } else {
+                        format!("{head},\n  {entry}\n]\n")
+                    }
+                }
+                // Unrecognized content: preserve it and start a fresh array.
+                None => format!("{trimmed}\n[\n  {entry}\n]\n"),
+            }
+        }
+        Err(_) => format!("[\n  {entry}\n]\n"),
+    };
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(body.as_bytes())
+}
+
+/// Best-effort convenience used by the experiment binaries: appends to
+/// [`THROUGHPUT_LOG`] and prints a one-line summary on stderr. Errors are
+/// reported on stderr but never fail the experiment, and nothing is written
+/// to stdout (figure output stays byte-stable).
+pub fn record_throughput(
+    experiment: &str,
+    threads: usize,
+    wall: Duration,
+    simulated_instructions: u64,
+) {
+    let rec = ThroughputRecord {
+        experiment: experiment.to_string(),
+        threads,
+        wall,
+        simulated_instructions,
+    };
+    eprintln!(
+        "[throughput] {}: {} simulated instr in {:.2}s with {} thread(s) = {:.1} M instr/s",
+        experiment,
+        simulated_instructions,
+        wall.as_secs_f64(),
+        threads,
+        rec.instr_per_second() / 1e6,
+    );
+    if let Err(e) = append_record(PathBuf::from(THROUGHPUT_LOG).as_path(), &rec) {
+        eprintln!("[throughput] could not write {THROUGHPUT_LOG}: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ppf-throughput-{}-{name}.json", std::process::id()));
+        p
+    }
+
+    fn rec(exp: &str) -> ThroughputRecord {
+        ThroughputRecord {
+            experiment: exp.into(),
+            threads: 4,
+            wall: Duration::from_millis(1500),
+            simulated_instructions: 3_000_000,
+        }
+    }
+
+    #[test]
+    fn rate_math() {
+        assert!((rec("x").instr_per_second() - 2_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn append_creates_then_extends_valid_array() {
+        let path = tmpfile("append");
+        let _ = std::fs::remove_file(&path);
+        append_record(&path, &rec("first")).unwrap();
+        append_record(&path, &rec("second")).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert!(s.trim_start().starts_with('['), "not an array: {s}");
+        assert!(s.trim_end().ends_with(']'), "unterminated: {s}");
+        assert_eq!(s.matches("\"experiment\"").count(), 2);
+        assert_eq!(s.matches("},").count(), 1, "objects must be comma-separated: {s}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_escapes_quotes_in_name() {
+        let r = ThroughputRecord { experiment: "a\"b".into(), ..rec("x") };
+        assert!(!r.to_json().contains("a\"b"));
+    }
+}

@@ -1,0 +1,35 @@
+//! The parallel harness must be a pure scheduling change: running a sweep
+//! with N workers has to produce results byte-identical to the sequential
+//! run, in the same order. These tests compare `Debug` renderings of the
+//! full result structures, which cover every counter in every report.
+
+use ppf_bench::{run_mix_suite_with_threads, run_suite_with_threads, RunScale};
+use ppf_sim::SystemConfig;
+use ppf_trace::{MixGenerator, Suite, Workload};
+
+/// Small enough to keep the test quick, large enough for the prefetchers
+/// and replacement state to diverge if a run were perturbed.
+fn tiny() -> RunScale {
+    RunScale { warmup: 2_000, measure: 10_000, mixes: 2 }
+}
+
+#[test]
+fn suite_parallel_matches_sequential() {
+    let workloads: Vec<Workload> = Workload::memory_intensive(Suite::Spec2017)
+        .into_iter()
+        .take(3)
+        .collect();
+    let seq = run_suite_with_threads(&workloads, SystemConfig::single_core, tiny(), 1);
+    let par = run_suite_with_threads(&workloads, SystemConfig::single_core, tiny(), 4);
+    assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+}
+
+#[test]
+fn mix_suite_parallel_matches_sequential() {
+    let pool = Workload::memory_intensive(Suite::Spec2017);
+    let mixes = MixGenerator::new(pool, 7).draw(2, 2);
+    let (seq, seq_instr) = run_mix_suite_with_threads(&mixes, 2, tiny(), 1);
+    let (par, par_instr) = run_mix_suite_with_threads(&mixes, 2, tiny(), 4);
+    assert_eq!(seq_instr, par_instr);
+    assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+}

@@ -163,6 +163,42 @@ impl Cache {
         AccessOutcome { hit: false, first_use_of_prefetch: false }
     }
 
+    /// Demand access that only commits when the block is resident: on a hit
+    /// it behaves exactly like [`Cache::demand_access`] (clock, LRU stamp,
+    /// prefetch-use metadata, counters) and returns the outcome; on a miss it
+    /// mutates nothing and returns `None`, letting callers run resource
+    /// checks before accounting the miss. Replaces a `probe` +
+    /// `demand_access` pair, scanning the set once instead of twice.
+    pub fn demand_hit(&mut self, block: u64, is_write: bool) -> Option<AccessOutcome> {
+        let clock = self.clock + 1;
+        let range = self.set_range(block);
+        let mut first_use = false;
+        let mut found = false;
+        for line in &mut self.lines[range] {
+            if line.valid && line.tag == block {
+                line.stamp = clock;
+                line.rrpv = 0;
+                if is_write {
+                    line.dirty = true;
+                }
+                first_use = line.prefetched && !line.used;
+                line.used = true;
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            return None;
+        }
+        self.clock = clock;
+        self.stats.demand_accesses += 1;
+        self.stats.demand_hits += 1;
+        if first_use {
+            self.stats.useful_prefetches += 1;
+        }
+        Some(AccessOutcome { hit: true, first_use_of_prefetch: first_use })
+    }
+
     /// Inserts `block`, evicting the LRU victim if the set is full.
     ///
     /// If the block is already resident (e.g. a prefetch raced a demand
@@ -357,6 +393,27 @@ mod tests {
         c.fill(3, FillKind::Prefetch, false);
         c.fill(3, FillKind::Demand, false);
         assert_eq!(c.stats.useful_prefetches, 1);
+    }
+
+    #[test]
+    fn demand_hit_matches_demand_access_on_hit_and_is_inert_on_miss() {
+        let mut a = tiny();
+        let mut b = tiny();
+        for c in [&mut a, &mut b] {
+            c.fill(7, FillKind::Prefetch, false);
+        }
+        // Hit path: identical outcome, stats, and LRU state.
+        let via_hit = a.demand_hit(7, true).expect("resident");
+        let via_access = b.demand_access(7, true);
+        assert_eq!(via_hit, via_access);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.clock, b.clock);
+        // Miss path: no mutation at all.
+        let stats_before = a.stats;
+        let clock_before = a.clock;
+        assert!(a.demand_hit(99, false).is_none());
+        assert_eq!(a.stats, stats_before);
+        assert_eq!(a.clock, clock_before);
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! A small, fast, non-cryptographic hasher for the simulator's internal
+//! maps (an Fx/FNV-style multiply-rotate mix, as used by rustc's FxHashMap).
+//!
+//! The default `HashMap` hasher (SipHash-1-3) costs tens of nanoseconds per
+//! lookup to defend against hash-flooding. The simulator's maps are keyed
+//! by block numbers it generates itself — there is no adversarial input —
+//! so the hot path (MSHR lookups on every demand access, prefetch-queue
+//! membership checks on every emitted candidate) uses this hasher instead.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative mixing constant (high-entropy odd number, from FxHash).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fx-style hasher: rotate, xor, multiply per word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, n: i8) {
+        self.add(n as u8 as u64);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, n: i16) {
+        self.add(n as u16 as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, n: i32) {
+        self.add(n as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, n: isize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_word_sensitive() {
+        let h = |n: u64| {
+            let mut x = FxHasher::default();
+            x.write_u64(n);
+            x.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+        assert_ne!(h(0), h(1)); // even near-zero keys separate
+    }
+
+    #[test]
+    fn byte_stream_matches_padding_rules() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(&[1, 2, 4]);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for k in 0..1000u64 {
+            m.insert(k * 977, k as u32);
+        }
+        for k in 0..1000u64 {
+            assert_eq!(m.get(&(k * 977)), Some(&(k as u32)));
+        }
+    }
+}

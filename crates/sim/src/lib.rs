@@ -37,6 +37,7 @@ pub mod addr;
 pub mod cache;
 pub mod config;
 pub mod dram;
+pub mod fxhash;
 pub mod mshr;
 pub mod prefetcher;
 pub mod rob;

@@ -5,7 +5,10 @@
 //! detected — the paper counts these toward prefetch usefulness because the
 //! demand still waits less than a full memory round trip.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::fxhash::FxHashMap;
 
 /// Who initiated the outstanding miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,10 +39,22 @@ pub struct MshrEntry {
 }
 
 /// A bounded file of outstanding misses, keyed by block number.
+///
+/// Readiness is tracked with a lazily-invalidated min-heap of
+/// `(ready_at, block)` plus a cached lower bound on the earliest completion,
+/// so the common per-cycle `drain_ready` call with nothing ready is a single
+/// integer comparison instead of a scan over every entry. A heap node is
+/// stale (ignored when popped) once its block is gone or has been promoted
+/// to an earlier `ready_at`; every live entry always has a node carrying its
+/// exact completion time.
 #[derive(Debug)]
 pub struct MshrFile {
     capacity: usize,
-    entries: HashMap<u64, MshrEntry>,
+    entries: FxHashMap<u64, MshrEntry>,
+    ready_heap: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Lower bound on the earliest `ready_at` (`u64::MAX` when the heap is
+    /// empty); may be early after a promote-then-drain, never late.
+    next_ready: u64,
 }
 
 /// Outcome of trying to allocate an MSHR.
@@ -62,7 +77,12 @@ impl MshrFile {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR file needs capacity");
-        Self { capacity, entries: HashMap::with_capacity(capacity) }
+        Self {
+            capacity,
+            entries: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            ready_heap: BinaryHeap::with_capacity(capacity),
+            next_ready: u64::MAX,
+        }
     }
 
     /// Number of in-flight entries.
@@ -86,6 +106,10 @@ impl MshrFile {
     }
 
     /// Mutable lookup of an in-flight entry.
+    ///
+    /// Callers may edit any field except `ready_at` — completion times must
+    /// change through [`MshrFile::promote`] so the readiness index stays
+    /// consistent.
     pub fn get_mut(&mut self, block: u64) -> Option<&mut MshrEntry> {
         self.entries.get_mut(&block)
     }
@@ -123,6 +147,8 @@ impl MshrFile {
                 counted_demand: false,
             },
         );
+        self.ready_heap.push(Reverse((ready_at, block)));
+        self.next_ready = self.next_ready.min(ready_at);
         MshrAlloc::Allocated
     }
 
@@ -131,7 +157,13 @@ impl MshrFile {
     /// The new time never moves later and never before `floor`.
     pub fn promote(&mut self, block: u64, credit: u64, floor: u64) {
         if let Some(e) = self.entries.get_mut(&block) {
-            e.ready_at = e.ready_at.saturating_sub(credit).max(floor).min(e.ready_at);
+            let new_ready = e.ready_at.saturating_sub(credit).max(floor).min(e.ready_at);
+            if new_ready != e.ready_at {
+                e.ready_at = new_ready;
+                // The old heap node goes stale; this one carries the live time.
+                self.ready_heap.push(Reverse((new_ready, block)));
+                self.next_ready = self.next_ready.min(new_ready);
+            }
         }
     }
 
@@ -148,10 +180,27 @@ impl MshrFile {
     /// Removes and returns all entries whose fill completes at or before
     /// `cycle`, in deterministic (block-number) order.
     pub fn drain_ready(&mut self, cycle: u64) -> Vec<(u64, MshrEntry)> {
-        let mut ready: Vec<u64> =
-            self.entries.iter().filter(|(_, e)| e.ready_at <= cycle).map(|(&b, _)| b).collect();
-        ready.sort_unstable();
-        ready
+        if self.next_ready > cycle {
+            return Vec::new();
+        }
+        let mut blocks: Vec<u64> = Vec::new();
+        while let Some(&Reverse((t, b))) = self.ready_heap.peek() {
+            if t > cycle {
+                break;
+            }
+            self.ready_heap.pop();
+            // Stale node unless the live entry still completes exactly at `t`.
+            if self.entries.get(&b).is_some_and(|e| e.ready_at == t) {
+                blocks.push(b);
+            }
+        }
+        self.next_ready =
+            self.ready_heap.peek().map_or(u64::MAX, |&Reverse((t, _))| t);
+        // A block re-allocated at a time an old stale node also carries can
+        // be pushed twice above; dedup after sorting into drain order.
+        blocks.sort_unstable();
+        blocks.dedup();
+        blocks
             .into_iter()
             .map(|b| {
                 let e = self.entries.remove(&b).expect("just found");

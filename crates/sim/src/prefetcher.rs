@@ -18,7 +18,7 @@ pub enum FillLevel {
 }
 
 /// A prefetch emitted by a prefetcher.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PrefetchRequest {
     /// Block-aligned byte address to prefetch.
     pub addr: u64,

@@ -19,6 +19,7 @@ use crate::addr;
 use crate::cache::{Cache, FillKind};
 use crate::config::SystemConfig;
 use crate::dram::Dram;
+use crate::fxhash::FxHashSet;
 use crate::mshr::{MissOrigin, MshrAlloc, MshrFile};
 use crate::prefetcher::{AccessContext, EvictionInfo, FillLevel, Prefetcher, PrefetchRequest};
 use crate::rob::{Rob, PENDING};
@@ -60,6 +61,9 @@ struct CoreUnit {
     l2_mshr: MshrFile,
     prefetcher: Box<dyn Prefetcher>,
     pq: VecDeque<PrefetchRequest>,
+    /// Mirror of `pq` for O(1) dedup-at-enqueue membership checks (queue
+    /// entries are unique, so a set mirrors the queue exactly).
+    pq_set: FxHashSet<PrefetchRequest>,
     pf_stats: PrefetchStats,
     /// Outstanding demand misses (bounded by the L1 MSHR count); prefetches
     /// do not count, so they can use the L2 MSHR headroom.
@@ -151,6 +155,7 @@ impl Simulation {
             l2_mshr: MshrFile::new(self.cfg.l2.mshrs),
             prefetcher,
             pq: VecDeque::new(),
+            pq_set: FxHashSet::default(),
             pf_stats: PrefetchStats::default(),
             demand_outstanding: 0,
             work_left: 0,
@@ -455,16 +460,18 @@ impl Simulation {
         let is_store = rec.kind == AccessKind::Store;
         let core = &mut self.cores[i];
 
-        // L1 hit: fast path.
-        if core.l1d.probe(block) {
-            core.l1d.demand_access(block, is_store);
+        // L1 hit: fast path (one set scan checks and commits the access).
+        if core.l1d.demand_hit(block, is_store).is_some() {
             return Demand::Done(cycle + cfg.l1d.latency);
         }
 
-        let l2_hit = core.l2.probe(block);
+        // Check-and-commit the L2 in one scan too. A hit commits here, which
+        // is safe under the Stall discipline: the hit path below can never
+        // stall. A miss touches nothing until the resource checks pass.
+        let l2_out = core.l2.demand_hit(block, is_store);
         let l2_latency = cfg.l1d.latency + cfg.l2.latency;
 
-        if !l2_hit {
+        if l2_out.is_none() {
             // Check resources before committing any counter updates.
             // Only loads occupy the L1 miss window; store misses drain
             // through the store buffer (they are bounded by L2 MSHRs only).
@@ -488,11 +495,12 @@ impl Simulation {
             }
         }
 
-        // Commit: account the L1 miss and the L2 access, trigger the
-        // prefetcher (every L2 demand access, hit or miss — paper Fig. 4).
+        // Commit: account the L1 miss and, on an L2 miss, the L2 access (the
+        // hit already committed above), then trigger the prefetcher (every
+        // L2 demand access, hit or miss — paper Fig. 4).
         let core = &mut self.cores[i];
         core.l1d.demand_access(block, is_store);
-        let out = core.l2.demand_access(block, is_store);
+        let out = l2_out.unwrap_or_else(|| core.l2.demand_access(block, is_store));
         if out.first_use_of_prefetch {
             core.pf_stats.useful += 1;
             core.prefetcher.on_useful_prefetch(block << addr::BLOCK_BITS);
@@ -518,18 +526,19 @@ impl Simulation {
                 FillLevel::L2 => {
                     core.l2.probe(req_block)
                         || core.l2_mshr.get(req_block).is_some()
-                        || core.pq.contains(&req)
+                        || core.pq_set.contains(&req)
                 }
                 FillLevel::Llc => {
                     self.llc.probe(req_block)
                         || self.llc_mshr.get(req_block).is_some()
-                        || core.pq.contains(&req)
+                        || core.pq_set.contains(&req)
                 }
             };
             if redundant {
                 core.pf_stats.dropped_redundant += 1;
             } else if core.pq.len() < cfg.prefetch.queue_size {
                 core.pq.push_back(req);
+                core.pq_set.insert(req);
             } else {
                 core.pf_stats.dropped_queue += 1;
             }
@@ -675,6 +684,7 @@ impl Simulation {
                     if core.l2.probe(block) || core.l2_mshr.get(block).is_some() {
                         core.pf_stats.dropped_redundant += 1;
                         core.pq.pop_front();
+                        core.pq_set.remove(&req);
                         continue;
                     }
                     // Prefetches may not occupy the demand headroom: keep as
@@ -703,6 +713,7 @@ impl Simulation {
                     core.l2_mshr.allocate(block, ready, MissOrigin::Prefetch, false, i);
                     core.pf_stats.issued += 1;
                     core.pq.pop_front();
+                    core.pq_set.remove(&req);
                     budget -= 1;
                 }
                 FillLevel::Llc => {
@@ -710,6 +721,7 @@ impl Simulation {
                         let core = &mut self.cores[i];
                         core.pf_stats.dropped_redundant += 1;
                         core.pq.pop_front();
+                        core.pq_set.remove(&req);
                         continue;
                     }
                     if self.llc_mshr.len() + self.cfg.l1d.mshrs * self.cfg.cores
@@ -722,6 +734,7 @@ impl Simulation {
                     self.llc_mshr.allocate(block, done, MissOrigin::Prefetch, false, i);
                     self.cores[i].pf_stats.issued += 1;
                     self.cores[i].pq.pop_front();
+                    self.cores[i].pq_set.remove(&req);
                     budget -= 1;
                 }
             }

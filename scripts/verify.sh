@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate: release build + full test suite.
+# With --quick, additionally smoke-run fig09 and show its throughput.
+#
+#   scripts/verify.sh           # build + tests
+#   scripts/verify.sh --quick   # build + tests + fig09 smoke run
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+if [ "${1:-}" = "--quick" ]; then
+    echo "== fig09 smoke run (--quick) =="
+    ./target/release/fig09_single_core --quick > /dev/null
+    if [ -f results/bench_throughput.json ]; then
+        echo "latest throughput record:"
+        tail -2 results/bench_throughput.json | head -1
+    fi
+fi
+
+echo "verify: OK"

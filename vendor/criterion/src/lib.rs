@@ -1,0 +1,228 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness, implementing the subset of its API this workspace
+//! uses (`benchmark_group`, `bench_function`, `iter`, `iter_batched`,
+//! throughput annotation).
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the real criterion cannot be downloaded. This harness measures wall
+//! time per iteration (median of `sample_size` samples, each long enough
+//! to amortize timer overhead) and prints one line per benchmark. There
+//! are no HTML reports, statistical regressions, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation: converts per-iteration time into a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in runs one routine
+/// call per setup call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Fresh input per routine call.
+    PerIteration,
+    /// Small batches (treated as per-iteration here).
+    SmallInput,
+    /// Large batches (treated as per-iteration here).
+    LargeInput,
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group sharing sample-size and throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        let label = format!("{}/{}", self.name, id);
+        report(&label, &mut b.samples, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; reports are printed eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+/// Minimum measured time per sample, so cheap routines are batched enough
+/// to dwarf `Instant` overhead.
+const MIN_SAMPLE_TIME: Duration = Duration::from_millis(2);
+
+impl Bencher {
+    /// Times `routine` directly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: how many calls fill MIN_SAMPLE_TIME?
+        let mut per_sample = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= MIN_SAMPLE_TIME || per_sample >= 1 << 24 {
+                break;
+            }
+            per_sample = (per_sample * 4).max(per_sample + 1);
+        }
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / per_sample as u32);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup time excluded).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, samples: &mut [Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!("  {:>12.1} elem/s", n as f64 / median.as_secs_f64())
+        }
+        Throughput::Bytes(n) => {
+            format!("  {:>12.1} MB/s", n as f64 / median.as_secs_f64() / 1e6)
+        }
+    });
+    println!(
+        "{label:<40} time: [{} {} {}]{}",
+        fmt_duration(lo),
+        fmt_duration(median),
+        fmt_duration(hi),
+        rate.unwrap_or_default(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group runner, like the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, like the real macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::PerIteration)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

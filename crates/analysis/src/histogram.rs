@@ -4,7 +4,7 @@
 //! (positive or negative) signal; one whose weights stay near zero learned
 //! nothing and was rejected from the design.
 
-use ppf::{WeightTable, WEIGHT_MAX, WEIGHT_MIN};
+use ppf::{WEIGHT_MAX, WEIGHT_MIN};
 
 /// Histogram of one weight table's values, one bucket per weight value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -13,12 +13,18 @@ pub struct WeightHistogram {
 }
 
 impl WeightHistogram {
-    /// Builds the histogram of a weight table.
-    pub fn of(table: &WeightTable) -> Self {
+    /// Builds the histogram of one feature's weights (a slice of the
+    /// perceptron's flat arena, see [`ppf::Perceptron::feature_weights`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is outside the 5-bit range (the perceptron's
+    /// saturating updates guarantee it never is).
+    pub fn of(weights: &[i32]) -> Self {
         let span = (i32::from(WEIGHT_MAX) - i32::from(WEIGHT_MIN) + 1) as usize;
         let mut counts = vec![0u64; span];
-        for &w in table.weights() {
-            counts[(i32::from(w) - i32::from(WEIGHT_MIN)) as usize] += 1;
+        for &w in weights {
+            counts[usize::try_from(w - i32::from(WEIGHT_MIN)).expect("5-bit weight")] += 1;
         }
         Self { counts }
     }
@@ -89,23 +95,11 @@ impl WeightHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppf::WeightTable;
-
-    fn table_with(values: &[i8]) -> WeightTable {
-        let mut t = WeightTable::new(values.len().next_power_of_two());
-        for (i, &v) in values.iter().enumerate() {
-            let steps = v.unsigned_abs();
-            for _ in 0..steps {
-                t.bump(i, v > 0);
-            }
-        }
-        t
-    }
 
     #[test]
     fn merge_accumulates() {
-        let mut a = WeightHistogram::of(&table_with(&[5]));
-        let b = WeightHistogram::of(&table_with(&[5, -2]));
+        let mut a = WeightHistogram::of(&[5]);
+        let b = WeightHistogram::of(&[5, -2]);
         a.merge(&b);
         assert_eq!(a.count(5), 2);
         assert_eq!(a.count(-2), 1);
@@ -113,8 +107,7 @@ mod tests {
 
     #[test]
     fn counts_values() {
-        let t = table_with(&[5, 5, -3, 0]);
-        let h = WeightHistogram::of(&t);
+        let h = WeightHistogram::of(&[5, 5, -3, 0]);
         assert_eq!(h.count(5), 2);
         assert_eq!(h.count(-3), 1);
         assert_eq!(h.count(0), 1);
@@ -123,25 +116,19 @@ mod tests {
 
     #[test]
     fn near_zero_fraction_detects_flat_tables() {
-        let flat = WeightTable::new(64);
-        let h = WeightHistogram::of(&flat);
+        let h = WeightHistogram::of(&[0; 64]);
         assert_eq!(h.near_zero_fraction(1), 1.0);
     }
 
     #[test]
     fn saturation_detected() {
-        let mut t = WeightTable::new(4);
-        for _ in 0..40 {
-            t.bump(0, true);
-            t.bump(1, false);
-        }
-        let h = WeightHistogram::of(&t);
+        let h = WeightHistogram::of(&[i32::from(WEIGHT_MAX), i32::from(WEIGHT_MIN), 0, 0]);
         assert_eq!(h.saturated_fraction(), 0.5);
     }
 
     #[test]
     fn render_contains_all_buckets() {
-        let h = WeightHistogram::of(&table_with(&[1, -1]));
+        let h = WeightHistogram::of(&[1, -1]);
         let out = h.render("demo", 20);
         assert!(out.contains("demo"));
         assert!(out.contains(" -16 |"));
@@ -151,6 +138,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "weight out of range")]
     fn out_of_range_count_panics() {
-        WeightHistogram::of(&WeightTable::new(4)).count(16);
+        WeightHistogram::of(&[0; 4]).count(16);
     }
 }

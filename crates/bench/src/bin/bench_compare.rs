@@ -1,0 +1,199 @@
+//! Compares the last two throughput records per experiment in
+//! `results/bench_throughput.json` and prints a regression/speedup table.
+//!
+//! The log is an array of one-object-per-line JSON records appended by
+//! [`ppf_bench::throughput`]; this tool parses it with the same
+//! line-oriented discipline (no JSON library), tolerating pre-v2 records
+//! that lack `git_rev`/`schema_version`.
+//!
+//! ```text
+//! cargo run --release -p ppf-bench --bin bench_compare [-- --fail-on-regression]
+//! ```
+//!
+//! With `--fail-on-regression` the exit status is nonzero if any
+//! experiment's newest record is more than 10% slower than the previous
+//! one — an opt-in CI gate (interactive use never fails the build).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use ppf_bench::throughput::THROUGHPUT_LOG;
+
+/// Regression threshold for the opt-in gate: newer / older below this
+/// ratio (i.e. >10% slower) fails.
+const REGRESSION_GATE: f64 = 0.90;
+
+#[derive(Debug, Clone)]
+struct Record {
+    experiment: String,
+    git_rev: String,
+    threads: u64,
+    simulated_instructions: u64,
+    instr_per_second: f64,
+}
+
+/// Extracts `"key":"value"` from one record line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts `"key":<number>` from one record line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn parse_log(text: &str) -> Vec<Record> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with('{'))
+        .filter_map(|line| {
+            Some(Record {
+                experiment: str_field(line, "experiment")?,
+                // Pre-v2 records carry no revision; keep them comparable.
+                git_rev: str_field(line, "git_rev").unwrap_or_else(|| "pre-v2".into()),
+                threads: num_field(line, "threads")? as u64,
+                simulated_instructions: num_field(line, "simulated_instructions")? as u64,
+                instr_per_second: num_field(line, "instr_per_second")?,
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fail_on_regression = false;
+    let mut path = THROUGHPUT_LOG.to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fail-on-regression" => fail_on_regression = true,
+            "--log" => match it.next() {
+                Some(p) => path = p.clone(),
+                None => {
+                    eprintln!("--log requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_compare [--log <file>] [--fail-on-regression]\n\n\
+                     Diffs the last two throughput records per experiment in\n\
+                     {THROUGHPUT_LOG} and prints a speedup table. With\n\
+                     --fail-on-regression, exits nonzero when any experiment\n\
+                     regressed by more than {:.0}%.",
+                    (1.0 - REGRESSION_GATE) * 100.0
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let text = match std::fs::read_to_string(Path::new(&path)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_compare: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let records = parse_log(&text);
+    if records.is_empty() {
+        eprintln!("bench_compare: no records in {path}");
+        std::process::exit(2);
+    }
+
+    // Group in append (chronological) order per experiment.
+    let mut by_exp: BTreeMap<String, Vec<Record>> = BTreeMap::new();
+    for r in records {
+        by_exp.entry(r.experiment.clone()).or_default().push(r);
+    }
+
+    println!(
+        "{:<24} {:>12} {:>12} {:>8}  {:<7} -> {:<7}",
+        "experiment", "old instr/s", "new instr/s", "speedup", "old rev", "new rev"
+    );
+    let mut regressed = Vec::new();
+    for (exp, runs) in &by_exp {
+        if runs.len() < 2 {
+            println!(
+                "{:<24} {:>12} {:>12.0} {:>8}  (only one record)",
+                exp, "-", runs[0].instr_per_second, "-"
+            );
+            continue;
+        }
+        let old = &runs[runs.len() - 2];
+        let new = &runs[runs.len() - 1];
+        let ratio = new.instr_per_second / old.instr_per_second.max(1e-9);
+        // A --quick record and a full sweep (or different thread counts)
+        // are not comparable: annotate and keep them out of the gate.
+        let like_for_like = new.threads == old.threads
+            && new.simulated_instructions == old.simulated_instructions;
+        let marker = if ratio < REGRESSION_GATE && like_for_like { "  REGRESSION" } else { "" };
+        println!(
+            "{:<24} {:>12.0} {:>12.0} {:>7.2}x  {:<7} -> {:<7}{marker}",
+            exp, old.instr_per_second, new.instr_per_second, ratio, old.git_rev, new.git_rev
+        );
+        if new.threads != old.threads {
+            println!(
+                "{:<24} (thread counts differ: {} vs {} — ratio is not like-for-like)",
+                "", old.threads, new.threads
+            );
+        }
+        if new.simulated_instructions != old.simulated_instructions {
+            println!(
+                "{:<24} (workload sizes differ: {} vs {} instr — ratio is not like-for-like)",
+                "", old.simulated_instructions, new.simulated_instructions
+            );
+        }
+        if ratio < REGRESSION_GATE && like_for_like {
+            regressed.push(exp.clone());
+        }
+    }
+
+    if !regressed.is_empty() {
+        eprintln!(
+            "bench_compare: >{:.0}% regression in: {}",
+            (1.0 - REGRESSION_GATE) * 100.0,
+            regressed.join(", ")
+        );
+        if fail_on_regression {
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_v2_and_legacy_lines() {
+        let text = "[\n  {\"experiment\":\"fig09\",\"threads\":1,\"wall_seconds\":1.0,\"simulated_instructions\":10,\"instr_per_second\":13433995,\"unix_time\":0},\n  {\"schema_version\":2,\"experiment\":\"fig09\",\"git_rev\":\"abc1234\",\"threads\":1,\"wall_seconds\":1.0,\"simulated_instructions\":10,\"instr_per_second\":16310538,\"unix_time\":0}\n]\n";
+        let recs = parse_log(text);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].git_rev, "pre-v2");
+        assert_eq!(recs[1].git_rev, "abc1234");
+        assert_eq!(recs[1].threads, 1);
+        assert!((recs[1].instr_per_second - 16310538.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn num_field_stops_at_delimiters() {
+        let line = "{\"threads\":8,\"instr_per_second\":123}";
+        assert_eq!(num_field(line, "threads"), Some(8.0));
+        assert_eq!(num_field(line, "instr_per_second"), Some(123.0));
+        assert_eq!(num_field(line, "missing"), None);
+    }
+}

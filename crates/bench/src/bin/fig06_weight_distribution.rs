@@ -31,8 +31,8 @@ fn main() {
         let ppf = handle.borrow();
         let p = ppf.filter().perceptron();
         eprintln!("  {} done", w.name());
-        let hs = WeightHistogram::of(p.table(strong_idx));
-        let hw = WeightHistogram::of(p.table(weak_idx));
+        let hs = WeightHistogram::of(p.feature_weights(strong_idx));
+        let hw = WeightHistogram::of(p.feature_weights(weak_idx));
         match &mut strong {
             Some(acc) => acc.merge(&hs),
             None => strong = Some(hs),

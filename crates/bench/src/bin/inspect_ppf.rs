@@ -30,7 +30,7 @@ impl Drop for Spy {
         println!("spp stats: {:?} avg_depth={:.2}", self.0.source().stats, self.0.source().stats.average_depth());
         println!("spp alpha: {}", self.0.source().alpha_percent());
         for (i, k) in f.features().iter().enumerate() {
-            let w = f.perceptron().table(i).weights();
+            let w = f.perceptron().feature_weights(i);
             let nonzero = w.iter().filter(|&&x| x != 0).count();
             let sum: i64 = w.iter().map(|&x| x as i64).sum();
             let min = w.iter().min().unwrap();

@@ -15,6 +15,33 @@ use std::time::Duration;
 /// directory (the repository root for `cargo run` invocations).
 pub const THROUGHPUT_LOG: &str = "results/bench_throughput.json";
 
+/// Version of the record layout. Bumped when fields are added so tooling
+/// (`bench_compare`) can tell old records apart; absent in pre-v2 records.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Git revision of the working tree, for record provenance.
+///
+/// Honors `PPF_GIT_REV` if set (CI can inject the exact rev without a git
+/// checkout), then falls back to `git rev-parse --short HEAD`, then to
+/// `"unknown"` — throughput logging must never fail the experiment.
+pub fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("PPF_GIT_REV") {
+        let rev = rev.trim().to_string();
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// One appended measurement.
 #[derive(Debug, Clone)]
 pub struct ThroughputRecord {
@@ -27,6 +54,8 @@ pub struct ThroughputRecord {
     /// Nominal simulated instructions across all runs in the sweep
     /// (per-core warmup + measure, summed over cores and runs).
     pub simulated_instructions: u64,
+    /// Git revision the measurement was taken at (see [`git_rev`]).
+    pub git_rev: String,
 }
 
 impl ThroughputRecord {
@@ -40,8 +69,10 @@ impl ThroughputRecord {
             .duration_since(std::time::UNIX_EPOCH)
             .map_or(0, |d| d.as_secs());
         format!(
-            "{{\"experiment\":\"{}\",\"threads\":{},\"wall_seconds\":{:.3},\"simulated_instructions\":{},\"instr_per_second\":{:.0},\"unix_time\":{}}}",
+            "{{\"schema_version\":{},\"experiment\":\"{}\",\"git_rev\":\"{}\",\"threads\":{},\"wall_seconds\":{:.3},\"simulated_instructions\":{},\"instr_per_second\":{:.0},\"unix_time\":{}}}",
+            SCHEMA_VERSION,
             self.experiment.replace('"', ""),
+            self.git_rev.replace('"', ""),
             self.threads,
             self.wall.as_secs_f64(),
             self.simulated_instructions,
@@ -99,6 +130,7 @@ pub fn record_throughput(
         threads,
         wall,
         simulated_instructions,
+        git_rev: git_rev(),
     };
     eprintln!(
         "[throughput] {}: {} simulated instr in {:.2}s with {} thread(s) = {:.1} M instr/s",
@@ -129,6 +161,7 @@ mod tests {
             threads: 4,
             wall: Duration::from_millis(1500),
             simulated_instructions: 3_000_000,
+            git_rev: "deadbee".into(),
         }
     }
 
@@ -155,5 +188,35 @@ mod tests {
     fn json_escapes_quotes_in_name() {
         let r = ThroughputRecord { experiment: "a\"b".into(), ..rec("x") };
         assert!(!r.to_json().contains("a\"b"));
+    }
+
+    #[test]
+    fn json_carries_provenance_fields() {
+        let s = rec("x").to_json();
+        assert!(s.contains(&format!("\"schema_version\":{SCHEMA_VERSION}")), "{s}");
+        assert!(s.contains("\"git_rev\":\"deadbee\""), "{s}");
+        assert!(s.contains("\"threads\":4"), "{s}");
+    }
+
+    #[test]
+    fn git_rev_never_empty() {
+        // In a checkout this is the short HEAD rev; outside one it must
+        // still degrade to a usable placeholder rather than failing.
+        assert!(!git_rev().is_empty());
+    }
+
+    #[test]
+    fn append_tolerates_pre_v2_records() {
+        let path = tmpfile("legacy");
+        std::fs::write(
+            &path,
+            "[\n  {\"experiment\":\"old\",\"threads\":1,\"wall_seconds\":1.0,\"simulated_instructions\":10,\"instr_per_second\":10,\"unix_time\":0}\n]\n",
+        )
+        .unwrap();
+        append_record(&path, &rec("new")).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(s.matches("\"experiment\"").count(), 2, "{s}");
+        assert!(s.trim_end().ends_with(']'), "{s}");
+        let _ = std::fs::remove_file(&path);
     }
 }

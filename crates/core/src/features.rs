@@ -157,7 +157,77 @@ impl FeatureKind {
     }
 }
 
+/// Upper bound on features per perceptron — every [`FeatureKind`] variant
+/// fits, with headroom. The inference/record/train hot paths carry indices
+/// in a fixed `[u32; MAX_FEATURES]` ([`IndexList`]) instead of a heap
+/// `Vec`, so evaluating a candidate allocates nothing.
+pub const MAX_FEATURES: usize = 16;
+
+/// A fixed-capacity list of per-feature table indices.
+///
+/// This is the zero-allocation replacement for the `Vec<usize>` that
+/// inference used to build per candidate: a `Copy` value small enough to
+/// live inline in the Prefetch/Reject table entries, so training can
+/// reuse the indices computed at inference time instead of rehashing the
+/// features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexList {
+    raw: [u32; MAX_FEATURES],
+    len: u8,
+}
+
+impl IndexList {
+    /// An empty list.
+    pub const fn new() -> Self {
+        Self { raw: [0; MAX_FEATURES], len: 0 }
+    }
+
+    /// Appends an index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list already holds [`MAX_FEATURES`] indices.
+    pub fn push(&mut self, index: u32) {
+        assert!((self.len as usize) < MAX_FEATURES, "more than {MAX_FEATURES} features");
+        self.raw[self.len as usize] = index;
+        self.len += 1;
+    }
+
+    /// Number of indices.
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The indices as a slice.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.raw[..usize::from(self.len)]
+    }
+}
+
+impl FromIterator<u32> for IndexList {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut list = Self::new();
+        for i in iter {
+            list.push(i);
+        }
+        list
+    }
+}
+
+/// Computes the table index of every feature in `set` without allocating.
+pub fn index_list(set: &[FeatureKind], inputs: &FeatureInputs) -> IndexList {
+    set.iter().map(|k| k.index(inputs) as u32).collect()
+}
+
 /// Computes the table index of every feature in `set`.
+///
+/// Heap-allocating convenience for tests and offline analysis; the hot
+/// paths use [`index_list`].
 pub fn index_all(set: &[FeatureKind], inputs: &FeatureInputs) -> Vec<usize> {
     set.iter().map(|k| k.index(inputs)).collect()
 }
@@ -261,6 +331,38 @@ mod tests {
         let all = index_all(&set, &f);
         for (k, &i) in set.iter().zip(&all) {
             assert_eq!(k.index(&f), i);
+        }
+    }
+
+    #[test]
+    fn index_list_matches_index_all() {
+        let set = FeatureKind::default_set();
+        let f = sample();
+        let list = index_list(&set, &f);
+        let all = index_all(&set, &f);
+        assert_eq!(list.len(), all.len());
+        for (&a, &b) in list.as_slice().iter().zip(&all) {
+            assert_eq!(a as usize, b);
+        }
+    }
+
+    #[test]
+    fn index_list_push_and_bounds() {
+        let mut l = IndexList::new();
+        assert!(l.is_empty());
+        for i in 0..MAX_FEATURES {
+            l.push(i as u32);
+        }
+        assert_eq!(l.len(), MAX_FEATURES);
+        assert_eq!(l.as_slice()[MAX_FEATURES - 1], (MAX_FEATURES - 1) as u32);
+    }
+
+    #[test]
+    #[should_panic(expected = "features")]
+    fn index_list_overflow_panics() {
+        let mut l = IndexList::new();
+        for i in 0..=MAX_FEATURES {
+            l.push(i as u32);
         }
     }
 

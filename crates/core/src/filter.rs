@@ -1,7 +1,7 @@
 //! The perceptron filter proper: inference, recording, and training
 //! (paper Sec 3.1, Figure 5).
 
-use crate::features::{index_all, FeatureInputs, FeatureKind};
+use crate::features::{index_list, FeatureInputs, FeatureKind, IndexList};
 use crate::perceptron::Perceptron;
 use crate::tables::MetaTable;
 use ppf_sim::addr::block_number;
@@ -192,12 +192,23 @@ impl PpfFilter {
         self.prefetch_table.lookup(block_number(addr)).map(|e| e.inputs.depth)
     }
 
+    /// Hashes every feature and maps the hashes to weight-arena positions —
+    /// the indices the whole inference/record/train cycle reuses. Inline
+    /// ([`IndexList`]), so no heap allocation.
+    fn index(&self, inputs: &FeatureInputs) -> IndexList {
+        self.perceptron.globalize(&index_list(&self.cfg.features, inputs))
+    }
+
     /// Step 1, inference: sums the feature-selected weights and thresholds
     /// the result against τ_hi / τ_lo.
-    pub fn infer(&mut self, inputs: &FeatureInputs) -> (Decision, i32) {
+    ///
+    /// Also returns the weight-arena indices so [`PpfFilter::record_indexed`]
+    /// can store them without rehashing (the zero-allocation fast path the
+    /// [`Ppf`](crate::Ppf) wrapper uses).
+    pub fn infer_indexed(&mut self, inputs: &FeatureInputs) -> (Decision, i32, IndexList) {
         self.stats.inferences += 1;
-        let idxs = index_all(&self.cfg.features, inputs);
-        let sum = self.perceptron.sum(&idxs);
+        let idxs = self.index(inputs);
+        let sum = self.perceptron.sum_at(&idxs);
         let decision = if sum >= self.cfg.tau_hi {
             self.stats.accepted_l2 += 1;
             Decision::PrefetchL2
@@ -208,16 +219,31 @@ impl PpfFilter {
             self.stats.rejected += 1;
             Decision::Reject
         };
+        (decision, sum, idxs)
+    }
+
+    /// Step 1, inference, without surfacing the indices (convenience; see
+    /// [`PpfFilter::infer_indexed`]).
+    pub fn infer(&mut self, inputs: &FeatureInputs) -> (Decision, i32) {
+        let (decision, sum, _) = self.infer_indexed(inputs);
         (decision, sum)
     }
 
-    /// Step 2, recording: stores the candidate's metadata in the Prefetch
+    /// Step 2, recording: stores the candidate's metadata — including the
+    /// arena indices from [`PpfFilter::infer_indexed`] — in the Prefetch
     /// Table (accepted) or the Reject Table (rejected).
-    pub fn record(&mut self, target_addr: u64, inputs: FeatureInputs, sum: i32, d: Decision) {
+    pub fn record_indexed(
+        &mut self,
+        target_addr: u64,
+        inputs: FeatureInputs,
+        indices: IndexList,
+        sum: i32,
+        d: Decision,
+    ) {
         let block = block_number(target_addr);
         match d {
             Decision::PrefetchL2 | Decision::PrefetchLlc => {
-                let displaced = self.prefetch_table.record(block, inputs, sum, true);
+                let displaced = self.prefetch_table.record(block, inputs, indices, sum, true);
                 if self.cfg.train_on_replacement {
                     if let Some(old) = displaced {
                         if !old.useful {
@@ -231,7 +257,7 @@ impl PpfFilter {
                 }
             }
             Decision::Reject => {
-                let displaced = self.reject_table.record(block, inputs, sum, false);
+                let displaced = self.reject_table.record(block, inputs, indices, sum, false);
                 if self.cfg.train_on_replacement {
                     if let Some(old) = displaced {
                         self.negative_train_displaced(&old);
@@ -241,6 +267,14 @@ impl PpfFilter {
         }
     }
 
+    /// Step 2, recording, re-deriving the indices from `inputs`
+    /// (convenience for callers that used [`PpfFilter::infer`]; still
+    /// allocation-free).
+    pub fn record(&mut self, target_addr: u64, inputs: FeatureInputs, sum: i32, d: Decision) {
+        let indices = self.index(&inputs);
+        self.record_indexed(target_addr, inputs, indices, sum, d);
+    }
+
     /// Steps 3–4 on a demand access: a hit in the Prefetch Table is a
     /// correct positive (train up while under θ_p); a hit in the Reject
     /// Table is a recovered false negative (always train up).
@@ -248,27 +282,28 @@ impl PpfFilter {
         let block = block_number(addr);
         let theta_p = self.cfg.theta_p;
 
-        let mut positive: Option<(FeatureInputs, bool)> = None;
+        // Training reuses the arena indices computed at inference time (no
+        // feature rehash, no allocation).
+        let mut positive: Option<(IndexList, bool)> = None;
         if let Some(e) = self.prefetch_table.lookup_mut(block) {
             if !e.useful {
                 e.useful = true;
-                positive = Some((e.inputs, false));
+                positive = Some((e.indices, false));
             }
         } else if let Some(e) = self.reject_table.take(block) {
-            positive = Some((e.inputs, true));
+            positive = Some((e.indices, true));
         }
 
-        if let Some((inputs, was_rejected)) = positive {
-            let idxs = index_all(&self.cfg.features, &inputs);
-            let sum = self.perceptron.sum(&idxs);
+        if let Some((idxs, was_rejected)) = positive {
+            let sum = self.perceptron.sum_at(&idxs);
             self.log_event(&idxs, true);
             if was_rejected {
                 self.stats.false_negative_recoveries += 1;
                 self.stats.positive_trains += 1;
-                self.perceptron.train(&idxs, true);
+                self.perceptron.train_at(&idxs, true);
             } else if sum < theta_p {
                 self.stats.positive_trains += 1;
-                self.perceptron.train(&idxs, true);
+                self.perceptron.train_at(&idxs, true);
             }
         }
     }
@@ -284,20 +319,24 @@ impl PpfFilter {
             // Correct positive already credited at demand time.
             return;
         }
-        let idxs = index_all(&self.cfg.features, &e.inputs);
-        let sum = self.perceptron.sum(&idxs);
-        self.log_event(&idxs, false);
+        let sum = self.perceptron.sum_at(&e.indices);
+        self.log_event(&e.indices, false);
         if sum > self.cfg.theta_n {
             self.stats.negative_trains += 1;
-            self.perceptron.train(&idxs, false);
+            self.perceptron.train_at(&e.indices, false);
         }
     }
 
     /// Moves a displaced, unused Prefetch-Table entry into the Reject Table
     /// (probation). Whatever *that* displaces unused trains negative.
     fn park_displaced(&mut self, old: crate::tables::TableEntry) {
-        let displaced =
-            self.reject_table.record(old.target_block, old.inputs, old.sum, old.perc_decision);
+        let displaced = self.reject_table.record(
+            old.target_block,
+            old.inputs,
+            old.indices,
+            old.sum,
+            old.perc_decision,
+        );
         if let Some(evicted) = displaced {
             self.negative_train_displaced(&evicted);
         }
@@ -310,17 +349,16 @@ impl PpfFilter {
         if !old.perc_decision {
             return;
         }
-        let idxs = index_all(&self.cfg.features, &old.inputs);
-        let s = self.perceptron.sum(&idxs);
-        self.log_event(&idxs, false);
+        let s = self.perceptron.sum_at(&old.indices);
+        self.log_event(&old.indices, false);
         if s > self.cfg.theta_n {
             self.stats.negative_trains += 1;
             self.stats.replacement_trains += 1;
-            self.perceptron.train(&idxs, false);
+            self.perceptron.train_at(&old.indices, false);
         }
     }
 
-    fn log_event(&mut self, idxs: &[usize], useful: bool) {
+    fn log_event(&mut self, idxs: &IndexList, useful: bool) {
         if self.cfg.event_log_capacity == 0 {
             return;
         }

@@ -55,9 +55,9 @@ pub mod tables;
 pub mod wrapper;
 
 pub use budget::{adder_tree_depth, default_budget, StorageBudget};
-pub use features::{FeatureInputs, FeatureKind};
+pub use features::{FeatureInputs, FeatureKind, IndexList, MAX_FEATURES};
 pub use filter::{Decision, FilterStats, PpfConfig, PpfFilter, TrainingEvent};
-pub use perceptron::{Perceptron, WeightTable, WEIGHT_MAX, WEIGHT_MIN};
+pub use perceptron::{Perceptron, WEIGHT_MAX, WEIGHT_MIN};
 pub use rosenblatt::{RosenblattConfig, RosenblattFilter, RosenblattStats};
 pub use tables::{MetaTable, TableEntry};
 pub use wrapper::{Ppf, PpfStats};

@@ -5,61 +5,34 @@
 //! feature's hash) and sums them; training increments or decrements exactly
 //! those weights. Weights are 5-bit saturating counters in `[-16, +15]` —
 //! the paper found 5 bits the best accuracy/area trade-off (Sec 3.1).
+//!
+//! # Data layout
+//!
+//! The per-feature tables are stored as **one contiguous `i32` arena** with
+//! a precomputed base offset and index mask per feature (see DESIGN.md §5b).
+//! A feature's local hash index maps to an arena position with one add and
+//! one and (`base[f] + (local & mask[f])`); [`Perceptron::globalize`] does
+//! that mapping once per candidate and the resulting [`IndexList`] of arena
+//! positions drives inference ([`Perceptron::sum_at`]) and training
+//! ([`Perceptron::train_at`]) as a single gather over a flat slice — no
+//! per-table pointer chasing and no heap allocation.
+
+use crate::features::IndexList;
 
 /// Minimum weight value (5-bit signed).
 pub const WEIGHT_MIN: i8 = -16;
 /// Maximum weight value (5-bit signed).
 pub const WEIGHT_MAX: i8 = 15;
 
-/// One feature's table of 5-bit weights.
-#[derive(Debug, Clone)]
-pub struct WeightTable {
-    weights: Vec<i8>,
-}
-
-impl WeightTable {
-    /// Creates a zeroed table with `entries` slots.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `entries` is not a power of two.
-    pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
-        Self { weights: vec![0; entries] }
-    }
-
-    /// Number of entries.
-    pub fn len(&self) -> usize {
-        self.weights.len()
-    }
-
-    /// Whether the table is empty (never true for a constructed table).
-    pub fn is_empty(&self) -> bool {
-        self.weights.is_empty()
-    }
-
-    /// Reads the weight at `index` (masked into range).
-    pub fn get(&self, index: usize) -> i8 {
-        self.weights[index & (self.weights.len() - 1)]
-    }
-
-    /// Saturating increment/decrement of the weight at `index`.
-    pub fn bump(&mut self, index: usize, up: bool) {
-        let i = index & (self.weights.len() - 1);
-        let w = self.weights[i];
-        self.weights[i] = if up { (w + 1).min(WEIGHT_MAX) } else { (w - 1).max(WEIGHT_MIN) };
-    }
-
-    /// All weights (for the paper's Figure 6 histograms).
-    pub fn weights(&self) -> &[i8] {
-        &self.weights
-    }
-}
-
-/// A bank of weight tables, one per feature.
+/// A bank of per-feature weight tables flattened into one arena.
 #[derive(Debug, Clone)]
 pub struct Perceptron {
-    tables: Vec<WeightTable>,
+    /// All tables' weights, concatenated in feature order.
+    arena: Vec<i32>,
+    /// Arena offset of each feature's table.
+    bases: Vec<u32>,
+    /// `entries - 1` per feature (all sizes are powers of two).
+    masks: Vec<u32>,
 }
 
 impl Perceptron {
@@ -70,57 +43,118 @@ impl Perceptron {
     /// Panics if `sizes` is empty or any size is not a power of two.
     pub fn new(sizes: &[usize]) -> Self {
         assert!(!sizes.is_empty(), "need at least one feature table");
-        Self { tables: sizes.iter().map(|&s| WeightTable::new(s)).collect() }
+        let mut bases = Vec::with_capacity(sizes.len());
+        let mut masks = Vec::with_capacity(sizes.len());
+        let mut total = 0usize;
+        for &s in sizes {
+            assert!(s.is_power_of_two(), "table size must be a power of two");
+            bases.push(total as u32);
+            masks.push((s - 1) as u32);
+            total += s;
+        }
+        Self { arena: vec![0; total], bases, masks }
     }
 
     /// Number of feature tables.
     pub fn num_tables(&self) -> usize {
-        self.tables.len()
+        self.bases.len()
     }
 
-    /// Inference: sum of one weight per table.
+    /// Entries in one feature's table.
+    pub fn table_len(&self, feature: usize) -> usize {
+        self.masks[feature] as usize + 1
+    }
+
+    /// One feature's weights as a slice of the arena (for the paper's
+    /// Figure 6 histograms).
+    pub fn feature_weights(&self, feature: usize) -> &[i32] {
+        let base = self.bases[feature] as usize;
+        &self.arena[base..base + self.table_len(feature)]
+    }
+
+    /// Reads one weight by feature and local (pre-mask) index.
+    pub fn get(&self, feature: usize, index: usize) -> i32 {
+        self.arena[self.bases[feature] as usize + (index & self.masks[feature] as usize)]
+    }
+
+    /// Maps per-feature local indices to arena positions: one add and one
+    /// mask per feature, done once per candidate at inference time. The
+    /// result is stored in the Prefetch/Reject tables so training reuses
+    /// it without rehashing.
+    pub fn globalize(&self, locals: &IndexList) -> IndexList {
+        assert_eq!(locals.len(), self.bases.len(), "one index per feature table");
+        locals
+            .as_slice()
+            .iter()
+            .zip(self.bases.iter().zip(&self.masks))
+            .map(|(&local, (&base, &mask))| base + (local & mask))
+            .collect()
+    }
+
+    /// Inference over arena positions from [`Perceptron::globalize`]: a
+    /// single gather-and-sum over the flat weight slice.
+    pub fn sum_at(&self, globals: &IndexList) -> i32 {
+        globals.as_slice().iter().map(|&i| self.arena[i as usize]).sum()
+    }
+
+    /// Training over arena positions: bump every selected weight up
+    /// (`true`) or down (`false`), saturating at the 5-bit range.
+    pub fn train_at(&mut self, globals: &IndexList, up: bool) {
+        for &i in globals.as_slice() {
+            let w = &mut self.arena[i as usize];
+            *w = if up {
+                (*w + 1).min(i32::from(WEIGHT_MAX))
+            } else {
+                (*w - 1).max(i32::from(WEIGHT_MIN))
+            };
+        }
+    }
+
+    /// Reads the weights at arena positions (for the training-event log).
+    pub fn weights_at(&self, globals: &IndexList) -> Vec<i8> {
+        globals.as_slice().iter().map(|&i| self.arena[i as usize] as i8).collect()
+    }
+
+    /// Inference from per-feature local indices (convenience for tests and
+    /// offline analysis; the hot path globalizes once and uses
+    /// [`Perceptron::sum_at`]).
     ///
     /// # Panics
     ///
     /// Panics if `indices.len()` differs from the number of tables.
     pub fn sum(&self, indices: &[usize]) -> i32 {
-        assert_eq!(indices.len(), self.tables.len(), "one index per feature table");
-        self.tables.iter().zip(indices).map(|(t, &i)| i32::from(t.get(i))).sum()
+        assert_eq!(indices.len(), self.bases.len(), "one index per feature table");
+        indices.iter().enumerate().map(|(f, &i)| self.get(f, i)).sum()
     }
 
-    /// Reads the individual weights selected by `indices` (for analysis).
-    pub fn weights_at(&self, indices: &[usize]) -> Vec<i8> {
-        assert_eq!(indices.len(), self.tables.len(), "one index per feature table");
-        self.tables.iter().zip(indices).map(|(t, &i)| t.get(i)).collect()
-    }
-
-    /// Training: bump every selected weight up (`true`) or down (`false`).
+    /// Training from per-feature local indices (see [`Perceptron::sum`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices.len()` differs from the number of tables.
     pub fn train(&mut self, indices: &[usize], up: bool) {
-        assert_eq!(indices.len(), self.tables.len(), "one index per feature table");
-        for (t, &i) in self.tables.iter_mut().zip(indices) {
-            t.bump(i, up);
-        }
+        assert_eq!(indices.len(), self.bases.len(), "one index per feature table");
+        let globals: IndexList = indices
+            .iter()
+            .enumerate()
+            .map(|(f, &i)| self.bases[f] + (i as u32 & self.masks[f]))
+            .collect();
+        self.train_at(&globals, up);
     }
 
-    /// Borrow of one feature's table.
-    pub fn table(&self, feature: usize) -> &WeightTable {
-        &self.tables[feature]
-    }
-
-    /// Total storage in bits (5 bits per weight).
+    /// Total storage in bits (5 bits per weight, as in hardware — the
+    /// simulator's `i32` arena is a speed/layout choice, not a budget one).
     pub fn storage_bits(&self) -> u64 {
-        self.tables.iter().map(|t| t.len() as u64 * 5).sum()
+        self.arena.len() as u64 * 5
     }
 
     /// Serializes all weights into a flat byte vector (one `i8` per weight,
     /// tables concatenated in order). Pair with [`Perceptron::load_weights`]
-    /// to warm-start a filter from a previous run.
+    /// to warm-start a filter from a previous run. The byte format is
+    /// unchanged from the per-table layout: the arena *is* the
+    /// concatenation.
     pub fn save_weights(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.tables.iter().map(WeightTable::len).sum());
-        for t in &self.tables {
-            out.extend(t.weights().iter().map(|&w| w as u8));
-        }
-        out
+        self.arena.iter().map(|&w| (w as i8) as u8).collect()
     }
 
     /// Restores weights produced by [`Perceptron::save_weights`].
@@ -130,9 +164,8 @@ impl Perceptron {
     /// Returns the expected length if `bytes` has the wrong size, or the
     /// offending value if any byte is outside the 5-bit weight range.
     pub fn load_weights(&mut self, bytes: &[u8]) -> Result<(), String> {
-        let expected: usize = self.tables.iter().map(WeightTable::len).sum();
-        if bytes.len() != expected {
-            return Err(format!("expected {expected} weights, got {}", bytes.len()));
+        if bytes.len() != self.arena.len() {
+            return Err(format!("expected {} weights, got {}", self.arena.len(), bytes.len()));
         }
         for &b in bytes {
             let w = b as i8;
@@ -140,19 +173,15 @@ impl Perceptron {
                 return Err(format!("weight {w} outside the 5-bit range"));
             }
         }
-        let mut cursor = 0;
-        for t in &mut self.tables {
-            for i in 0..t.len() {
-                t.weights[i] = bytes[cursor] as i8;
-                cursor += 1;
-            }
+        for (slot, &b) in self.arena.iter_mut().zip(bytes) {
+            *slot = i32::from(b as i8);
         }
         Ok(())
     }
 
     /// The theoretical output range `[min, max]` of [`Perceptron::sum`].
     pub fn sum_range(&self) -> (i32, i32) {
-        let n = self.tables.len() as i32;
+        let n = self.bases.len() as i32;
         (n * i32::from(WEIGHT_MIN), n * i32::from(WEIGHT_MAX))
     }
 }
@@ -160,6 +189,10 @@ impl Perceptron {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn globals(p: &Perceptron, locals: &[usize]) -> IndexList {
+        p.globalize(&locals.iter().map(|&i| i as u32).collect())
+    }
 
     #[test]
     fn zero_initialised() {
@@ -178,32 +211,61 @@ mod tests {
     }
 
     #[test]
+    fn flat_path_matches_local_path() {
+        let mut p = Perceptron::new(&[64, 128, 4096]);
+        let locals = [5usize, 100, 4000];
+        let g = globals(&p, &locals);
+        p.train_at(&g, true);
+        p.train_at(&g, true);
+        assert_eq!(p.sum_at(&g), p.sum(&locals));
+        assert_eq!(p.sum_at(&g), 6);
+        p.train(&locals, false);
+        assert_eq!(p.sum_at(&g), 3);
+    }
+
+    #[test]
     fn weights_saturate() {
-        let mut t = WeightTable::new(8);
+        let mut p = Perceptron::new(&[8]);
+        let g = globals(&p, &[3]);
         for _ in 0..100 {
-            t.bump(3, true);
+            p.train_at(&g, true);
         }
-        assert_eq!(t.get(3), WEIGHT_MAX);
+        assert_eq!(p.get(0, 3), i32::from(WEIGHT_MAX));
         for _ in 0..100 {
-            t.bump(3, false);
+            p.train_at(&g, false);
         }
-        assert_eq!(t.get(3), WEIGHT_MIN);
+        assert_eq!(p.get(0, 3), i32::from(WEIGHT_MIN));
     }
 
     #[test]
     fn indices_are_masked() {
-        let t = WeightTable::new(16);
-        assert_eq!(t.get(16), t.get(0));
-        assert_eq!(t.get(31), t.get(15));
+        let p = Perceptron::new(&[16]);
+        assert_eq!(p.get(0, 16), p.get(0, 0));
+        assert_eq!(p.get(0, 31), p.get(0, 15));
+        // globalize applies the same mask.
+        assert_eq!(globals(&p, &[16]), globals(&p, &[0]));
     }
 
     #[test]
     fn tables_are_independent() {
         let mut p = Perceptron::new(&[64, 64]);
         p.train(&[5, 9], true);
-        assert_eq!(p.table(0).get(9), 0);
-        assert_eq!(p.table(1).get(5), 0);
-        assert_eq!(p.table(0).get(5), 1);
+        assert_eq!(p.get(0, 9), 0);
+        assert_eq!(p.get(1, 5), 0);
+        assert_eq!(p.get(0, 5), 1);
+    }
+
+    #[test]
+    fn arena_layout_is_concatenation() {
+        let mut p = Perceptron::new(&[64, 128]);
+        assert_eq!(p.num_tables(), 2);
+        assert_eq!(p.table_len(0), 64);
+        assert_eq!(p.table_len(1), 128);
+        p.train(&[0, 0], true);
+        // Feature 1's slot 0 lives at arena offset 64.
+        assert_eq!(p.feature_weights(1)[0], 1);
+        assert_eq!(p.feature_weights(0)[0], 1);
+        assert_eq!(p.feature_weights(0).len() + p.feature_weights(1).len(), 192);
     }
 
     #[test]
@@ -251,6 +313,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_pow2_rejected() {
-        WeightTable::new(100);
+        Perceptron::new(&[100]);
     }
 }

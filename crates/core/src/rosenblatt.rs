@@ -149,7 +149,7 @@ impl<S: LookaheadSource> RosenblattFilter<S> {
         if let Some(t) = self.table[idx] {
             if t.tag == tag && !t.resolved {
                 if t.predicted_useful != useful {
-                    self.correct(&t.bits.clone(), useful);
+                    self.correct(&t.bits, useful);
                 }
                 if let Some(t) = &mut self.table[idx] {
                     t.resolved = true;

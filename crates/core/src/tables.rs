@@ -7,7 +7,7 @@
 //! Table additionally lets PPF recover from false negatives: a demand hit
 //! on a rejected candidate trains the filter upward.
 
-use crate::features::FeatureInputs;
+use crate::features::{FeatureInputs, IndexList};
 
 /// One entry's stored metadata (cf. paper Table 2; 85 bits in hardware).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,8 +22,15 @@ pub struct TableEntry {
     /// The perceptron's decision when the entry was recorded (`true` =
     /// prefetched; always `true` in the Prefetch Table, `false` in Reject).
     pub perc_decision: bool,
-    /// Feature inputs to re-index the weight tables for training.
+    /// Feature inputs recorded for introspection (depth statistics) and to
+    /// mirror the hardware's stored metadata.
     pub inputs: FeatureInputs,
+    /// Weight-arena positions computed at inference time. Training reuses
+    /// these directly instead of rehashing the features — an inline `Copy`
+    /// array, so recording an entry never touches the heap. (Hardware
+    /// equivalently re-derives them from the stored metadata; storing both
+    /// is a simulator-speed choice, not extra modeled state.)
+    pub indices: IndexList,
     /// Perceptron sum at inference time (for threshold-gated training).
     pub sum: i32,
 }
@@ -77,6 +84,7 @@ impl MetaTable {
         &mut self,
         block: u64,
         inputs: FeatureInputs,
+        indices: IndexList,
         sum: i32,
         perc_decision: bool,
     ) -> Option<TableEntry> {
@@ -92,6 +100,7 @@ impl MetaTable {
             useful: false,
             perc_decision,
             inputs,
+            indices,
             sum,
         });
         displaced
@@ -143,6 +152,7 @@ pub fn reject_table_entry_bits() -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::features::IndexList;
 
     fn inputs(addr: u64) -> FeatureInputs {
         FeatureInputs { trigger_addr: addr, ..FeatureInputs::default() }
@@ -151,7 +161,7 @@ mod tests {
     #[test]
     fn record_then_lookup() {
         let mut t = MetaTable::new(1024);
-        t.record(0xABCD, inputs(1), 7, true);
+        t.record(0xABCD, inputs(1), IndexList::new(), 7, true);
         let e = t.lookup(0xABCD).expect("present");
         assert_eq!(e.sum, 7);
         assert!(e.perc_decision);
@@ -161,7 +171,7 @@ mod tests {
     #[test]
     fn tag_mismatch_misses() {
         let mut t = MetaTable::new(1024);
-        t.record(0xABCD, inputs(1), 0, true);
+        t.record(0xABCD, inputs(1), IndexList::new(), 0, true);
         // Same index (low 10 bits), different tag bits above.
         let alias = 0xABCD ^ (1 << 12);
         assert!(t.lookup(alias).is_none());
@@ -170,9 +180,9 @@ mod tests {
     #[test]
     fn aliasing_replaces() {
         let mut t = MetaTable::new(1024);
-        t.record(0xABCD, inputs(1), 1, true);
+        t.record(0xABCD, inputs(1), IndexList::new(), 1, true);
         let alias = 0xABCD ^ (1 << 10);
-        t.record(alias, inputs(2), 2, false);
+        t.record(alias, inputs(2), IndexList::new(), 2, false);
         assert!(t.lookup(0xABCD).is_none(), "older entry evicted by alias");
         assert_eq!(t.lookup(alias).unwrap().sum, 2);
     }
@@ -180,15 +190,15 @@ mod tests {
     #[test]
     fn pending_entry_survives_re_record() {
         let mut t = MetaTable::new(1024);
-        t.record(0xABCD, inputs(1), 1, true);
+        t.record(0xABCD, inputs(1), IndexList::new(), 1, true);
         // Re-suggestion of the same in-flight block: the original issued
         // prefetch's metadata must be preserved.
-        assert!(t.record(0xABCD, inputs(2), 9, true).is_none());
+        assert!(t.record(0xABCD, inputs(2), IndexList::new(), 9, true).is_none());
         assert_eq!(t.lookup(0xABCD).unwrap().sum, 1);
         // After the entry proves useful, a fresh prefetch generation may
         // replace it.
         t.lookup_mut(0xABCD).unwrap().useful = true;
-        t.record(0xABCD, inputs(3), 7, true);
+        t.record(0xABCD, inputs(3), IndexList::new(), 7, true);
         let e = t.lookup(0xABCD).unwrap();
         assert_eq!(e.sum, 7);
         assert!(!e.useful);
@@ -197,7 +207,7 @@ mod tests {
     #[test]
     fn take_removes() {
         let mut t = MetaTable::new(64);
-        t.record(5, inputs(1), 3, true);
+        t.record(5, inputs(1), IndexList::new(), 3, true);
         assert!(t.take(5).is_some());
         assert!(t.lookup(5).is_none());
         assert!(t.take(5).is_none());
@@ -206,7 +216,7 @@ mod tests {
     #[test]
     fn lookup_mut_allows_marking_useful() {
         let mut t = MetaTable::new(64);
-        t.record(9, inputs(1), 0, true);
+        t.record(9, inputs(1), IndexList::new(), 0, true);
         t.lookup_mut(9).unwrap().useful = true;
         assert!(t.lookup(9).unwrap().useful);
     }
@@ -215,8 +225,8 @@ mod tests {
     fn occupancy_counts() {
         let mut t = MetaTable::new(64);
         assert_eq!(t.occupancy(), 0);
-        t.record(1, inputs(1), 0, true);
-        t.record(2, inputs(2), 0, true);
+        t.record(1, inputs(1), IndexList::new(), 0, true);
+        t.record(2, inputs(2), IndexList::new(), 0, true);
         assert_eq!(t.occupancy(), 2);
     }
 

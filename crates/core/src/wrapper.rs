@@ -166,8 +166,10 @@ impl<S: LookaheadSource> Prefetcher for Ppf<S> {
         for c in &cands {
             let inputs = self.build_inputs(ctx, c, last_signature);
             last_signature = c.meta.signature;
-            let (decision, sum) = self.filter.infer(&inputs);
-            self.filter.record(c.addr, inputs, sum, decision);
+            // Zero-allocation fast path: inference hands back the weight-
+            // arena indices and recording stores them for training.
+            let (decision, sum, indices) = self.filter.infer_indexed(&inputs);
+            self.filter.record_indexed(c.addr, inputs, indices, sum, decision);
             match decision {
                 Decision::PrefetchL2 => {
                     self.stats.accepted += 1;

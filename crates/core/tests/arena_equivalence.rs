@@ -1,0 +1,133 @@
+//! Property test: the flattened weight arena is bit-identical to the
+//! nine-separate-tables design it replaced.
+//!
+//! The reference model below is a straight transcription of the
+//! pre-arena `WeightTable` code — one independent `Vec<i32>` per feature,
+//! local indices masked per table, saturating 5-bit updates. Arbitrary
+//! interleavings of inference and training must produce exactly the same
+//! sums and exactly the same final weights in both layouts.
+
+use ppf::{IndexList, Perceptron, WEIGHT_MAX, WEIGHT_MIN};
+use proptest::prelude::*;
+
+/// The old layout: one heap table per feature.
+struct RefTables {
+    tables: Vec<Vec<i32>>,
+}
+
+impl RefTables {
+    fn new(sizes: &[usize]) -> Self {
+        Self { tables: sizes.iter().map(|&n| vec![0i32; n]).collect() }
+    }
+
+    fn mask(&self, feature: usize) -> usize {
+        self.tables[feature].len() - 1
+    }
+
+    fn sum(&self, locals: &[usize]) -> i32 {
+        locals
+            .iter()
+            .enumerate()
+            .map(|(f, &ix)| self.tables[f][ix & self.mask(f)])
+            .sum()
+    }
+
+    fn train(&mut self, locals: &[usize], up: bool) {
+        for (f, &ix) in locals.iter().enumerate() {
+            let m = self.mask(f);
+            let w = &mut self.tables[f][ix & m];
+            *w = if up {
+                (*w + 1).min(i32::from(WEIGHT_MAX))
+            } else {
+                (*w - 1).max(i32::from(WEIGHT_MIN))
+            };
+        }
+    }
+}
+
+/// The paper's nine features at most; each script entry carries nine raw
+/// indices and uses the first `sizes.len()` of them.
+const MAX_TABLES: usize = 9;
+
+proptest! {
+    #[test]
+    fn arena_matches_nine_tables(
+        // Power-of-two table sizes like the paper's (64..4096), 2–9 tables.
+        size_bits in collection::vec(6u32..13, 2..(MAX_TABLES + 1)),
+        // (raw local indices, action): 0 = infer, 1 = train up, 2 = down.
+        // Indices are unmasked so the per-table masking paths are exercised.
+        script in collection::vec(
+            (collection::vec(0usize..65536, MAX_TABLES..(MAX_TABLES + 1)), 0u8..3),
+            1..200,
+        ),
+    ) {
+        let sizes: Vec<usize> = size_bits.iter().map(|&b| 1usize << b).collect();
+        let mut arena = Perceptron::new(&sizes);
+        let mut reference = RefTables::new(&sizes);
+        for (raw, action) in &script {
+            let locals = &raw[..sizes.len()];
+            // The production path: globalize once (which applies the
+            // per-feature masks), then gather/update through the flat arena.
+            let local_list: IndexList = locals.iter().map(|&ix| ix as u32).collect();
+            let globals = arena.globalize(&local_list);
+            match action {
+                0 => prop_assert_eq!(arena.sum_at(&globals), reference.sum(locals)),
+                1 => {
+                    arena.train_at(&globals, true);
+                    reference.train(locals, true);
+                }
+                _ => {
+                    arena.train_at(&globals, false);
+                    reference.train(locals, false);
+                }
+            }
+        }
+        // Final weights must be bit-identical, table by table, entry by entry.
+        for (f, table) in reference.tables.iter().enumerate() {
+            prop_assert_eq!(arena.feature_weights(f), table.as_slice(), "feature {}", f);
+        }
+        // And the serialized form (what checkpoints store) must agree with
+        // the reference weights byte for byte.
+        let bytes = arena.save_weights();
+        let flat: Vec<u8> = reference
+            .tables
+            .iter()
+            .flatten()
+            .map(|&w| (w as i8) as u8)
+            .collect();
+        prop_assert_eq!(bytes, flat);
+    }
+
+    /// The legacy slice API and the indexed fast path agree on every input.
+    #[test]
+    fn legacy_and_indexed_paths_agree(
+        size_bits in collection::vec(6u32..13, 2..(MAX_TABLES + 1)),
+        script in collection::vec(
+            (collection::vec(0usize..65536, MAX_TABLES..(MAX_TABLES + 1)), 0u8..3),
+            1..200,
+        ),
+    ) {
+        let sizes: Vec<usize> = size_bits.iter().map(|&b| 1usize << b).collect();
+        let mut a = Perceptron::new(&sizes);
+        let mut b = Perceptron::new(&sizes);
+        for (raw, action) in &script {
+            let locals = &raw[..sizes.len()];
+            let local_list: IndexList = locals.iter().map(|&ix| ix as u32).collect();
+            let globals = b.globalize(&local_list);
+            match action {
+                0 => prop_assert_eq!(a.sum(locals), b.sum_at(&globals)),
+                1 => {
+                    a.train(locals, true);
+                    b.train_at(&globals, true);
+                }
+                _ => {
+                    a.train(locals, false);
+                    b.train_at(&globals, false);
+                }
+            }
+        }
+        for f in 0..sizes.len() {
+            prop_assert_eq!(a.feature_weights(f), b.feature_weights(f), "feature {}", f);
+        }
+    }
+}

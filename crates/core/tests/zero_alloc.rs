@@ -1,0 +1,101 @@
+//! Proves the PPF steady-state hot path — inference, recording, demand
+//! training, and eviction training — performs zero heap allocations.
+//!
+//! A counting global allocator wraps the system allocator; after the filter
+//! is constructed (arena + metadata tables are allocated once, up front),
+//! the allocation count must not move while the filter processes traffic.
+//! This is the acceptance test for the flattened-arena / inline-index
+//! redesign: any reintroduced `Vec` in the per-candidate path fails here.
+//!
+//! The file holds a single `#[test]` so no concurrent test can allocate
+//! while the steady-state window is measured.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ppf::{Decision, FeatureInputs, PpfConfig, PpfFilter};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn inputs(i: u64) -> FeatureInputs {
+    FeatureInputs {
+        trigger_addr: 0x1000_0000 + i * 64,
+        trigger_pc: 0x400000 + (i % 64) * 4,
+        pc_1: 0x400100,
+        pc_2: 0x400200,
+        pc_3: 0x400300,
+        signature: (i % 4096) as u16,
+        last_signature: ((i + 7) % 4096) as u16,
+        confidence: (i % 101) as u8,
+        delta: ((i % 63) as i16) - 31,
+        depth: (i % 16) as u8 + 1,
+    }
+}
+
+/// One full filter cycle: infer, record, then train the recorded block.
+fn cycle(f: &mut PpfFilter, i: u64) {
+    let inp = inputs(i);
+    let addr = inp.trigger_addr + 64;
+    let (d, sum, idxs) = f.infer_indexed(&inp);
+    f.record_indexed(addr, inp, idxs, sum, d);
+    match i % 3 {
+        0 => f.train_on_demand(addr),
+        1 => f.train_on_eviction(addr, false),
+        _ => {
+            if d == Decision::Reject {
+                f.train_on_demand(addr);
+            }
+        }
+    }
+}
+
+#[test]
+fn steady_state_filter_path_never_allocates() {
+    // Default config: event log disabled, paper-sized tables.
+    let mut f = PpfFilter::new(PpfConfig::default());
+
+    // Warm up: fill both metadata tables, trigger displacements and
+    // recoveries, so the measured window sees the worst-case code paths
+    // (table collisions, parked entries, negative training).
+    for i in 0..50_000 {
+        cycle(&mut f, i);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 50_000..150_000 {
+        cycle(&mut f, i);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state inference/record/train path allocated {} time(s)",
+        after - before
+    );
+
+    // Sanity: the filter actually did work in the measured window.
+    assert!(f.stats.inferences >= 150_000);
+    assert!(f.stats.positive_trains + f.stats.negative_trains > 0);
+}

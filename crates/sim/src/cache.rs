@@ -40,17 +40,16 @@ pub struct Evicted {
     pub was_used: bool,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    prefetched: bool,
-    used: bool,
-    stamp: u64,
-    /// 2-bit re-reference prediction value (SRRIP only).
-    rrpv: u8,
-}
+/// Sentinel tag marking an invalid way in the SoA tag array. Real block
+/// numbers are byte addresses shifted right by the 6-bit block offset, so
+/// they can never reach `u64::MAX`.
+const INVALID_TAG: u64 = u64::MAX;
+
+/// Per-line metadata bits, packed so the non-tag state of a line is one
+/// byte (plus the LRU stamp and SRRIP RRPV kept in their own arrays).
+const FLAG_DIRTY: u8 = 1 << 0;
+const FLAG_PREFETCHED: u8 = 1 << 1;
+const FLAG_USED: u8 = 1 << 2;
 
 /// Per-cache counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -91,11 +90,24 @@ impl CacheStats {
 }
 
 /// A set-associative, write-back, LRU cache.
+///
+/// Line state is stored struct-of-arrays: the tags of a set are contiguous
+/// `u64`s (with [`INVALID_TAG`] marking empty ways), so the hit scans in
+/// [`Cache::probe`] / [`Cache::demand_hit`] / [`Cache::fill`] walk a packed
+/// tag slice instead of striding over full line structs. Stamps, flag bits
+/// and RRPVs live in parallel arrays touched only after a way is chosen.
 #[derive(Debug, Clone)]
 pub struct Cache {
     sets: usize,
     ways: usize,
-    lines: Vec<Line>,
+    /// Tag per way, [`INVALID_TAG`] when the way is empty.
+    tags: Vec<u64>,
+    /// LRU stamp per way.
+    stamps: Vec<u64>,
+    /// `FLAG_*` bits per way.
+    flags: Vec<u8>,
+    /// 2-bit re-reference prediction value per way (SRRIP only).
+    rrpvs: Vec<u8>,
     clock: u64,
     policy: ReplacementPolicy,
     /// Counter block (see [`CacheStats`]).
@@ -106,10 +118,14 @@ impl Cache {
     /// Builds a cache from a configuration.
     pub fn new(cfg: &CacheConfig) -> Self {
         let sets = cfg.sets();
+        let ways = sets * cfg.ways;
         Self {
             sets,
             ways: cfg.ways,
-            lines: vec![Line::default(); sets * cfg.ways],
+            tags: vec![INVALID_TAG; ways],
+            stamps: vec![0; ways],
+            flags: vec![0; ways],
+            rrpvs: vec![0; ways],
             clock: 0,
             policy: cfg.policy,
             stats: CacheStats::default(),
@@ -131,9 +147,34 @@ impl Cache {
         set * self.ways..(set + 1) * self.ways
     }
 
+    /// Scans one set's packed tag slice for `block`, returning the absolute
+    /// way index. Validity is implicit: empty ways hold [`INVALID_TAG`],
+    /// which no real block number equals.
+    #[inline]
+    fn find_way(&self, block: u64) -> Option<usize> {
+        debug_assert_ne!(block, INVALID_TAG, "block number collides with the invalid sentinel");
+        let range = self.set_range(block);
+        let start = range.start;
+        self.tags[range].iter().position(|&t| t == block).map(|i| start + i)
+    }
+
+    /// Marks a hit on way `i`: LRU stamp, RRPV reset, dirty/used bits.
+    /// Returns whether this was the first demand use of a prefetched line.
+    #[inline]
+    fn touch_hit(&mut self, i: usize, clock: u64, is_write: bool) -> bool {
+        self.stamps[i] = clock;
+        self.rrpvs[i] = 0;
+        if is_write {
+            self.flags[i] |= FLAG_DIRTY;
+        }
+        let first_use = self.flags[i] & (FLAG_PREFETCHED | FLAG_USED) == FLAG_PREFETCHED;
+        self.flags[i] |= FLAG_USED;
+        first_use
+    }
+
     /// Non-updating presence check.
     pub fn probe(&self, block: u64) -> bool {
-        self.lines[self.set_range(block)].iter().any(|l| l.valid && l.tag == block)
+        self.find_way(block).is_some()
     }
 
     /// Demand access (load or store). Updates LRU, prefetch-use metadata and
@@ -143,22 +184,13 @@ impl Cache {
         self.clock += 1;
         self.stats.demand_accesses += 1;
         let clock = self.clock;
-        let range = self.set_range(block);
-        for line in &mut self.lines[range] {
-            if line.valid && line.tag == block {
-                line.stamp = clock;
-                line.rrpv = 0;
-                if is_write {
-                    line.dirty = true;
-                }
-                let first_use = line.prefetched && !line.used;
-                if first_use {
-                    self.stats.useful_prefetches += 1;
-                }
-                line.used = true;
-                self.stats.demand_hits += 1;
-                return AccessOutcome { hit: true, first_use_of_prefetch: first_use };
+        if let Some(i) = self.find_way(block) {
+            let first_use = self.touch_hit(i, clock, is_write);
+            if first_use {
+                self.stats.useful_prefetches += 1;
             }
+            self.stats.demand_hits += 1;
+            return AccessOutcome { hit: true, first_use_of_prefetch: first_use };
         }
         AccessOutcome { hit: false, first_use_of_prefetch: false }
     }
@@ -171,25 +203,8 @@ impl Cache {
     /// `demand_access` pair, scanning the set once instead of twice.
     pub fn demand_hit(&mut self, block: u64, is_write: bool) -> Option<AccessOutcome> {
         let clock = self.clock + 1;
-        let range = self.set_range(block);
-        let mut first_use = false;
-        let mut found = false;
-        for line in &mut self.lines[range] {
-            if line.valid && line.tag == block {
-                line.stamp = clock;
-                line.rrpv = 0;
-                if is_write {
-                    line.dirty = true;
-                }
-                first_use = line.prefetched && !line.used;
-                line.used = true;
-                found = true;
-                break;
-            }
-        }
-        if !found {
-            return None;
-        }
+        let i = self.find_way(block)?;
+        let first_use = self.touch_hit(i, clock, is_write);
         self.clock = clock;
         self.stats.demand_accesses += 1;
         self.stats.demand_hits += 1;
@@ -210,69 +225,72 @@ impl Cache {
             FillKind::Demand => self.stats.demand_fills += 1,
             FillKind::Prefetch => self.stats.prefetch_fills += 1,
         }
-        let range = self.set_range(block);
-
         // Already present: refresh.
-        if let Some(line) =
-            self.lines[range.clone()].iter_mut().find(|l| l.valid && l.tag == block)
-        {
-            line.stamp = clock;
-            line.dirty |= dirty;
+        if let Some(i) = self.find_way(block) {
+            self.stamps[i] = clock;
+            if dirty {
+                self.flags[i] |= FLAG_DIRTY;
+            }
             if kind == FillKind::Demand {
                 // A demand fill over a prefetched line counts as a use.
-                if line.prefetched && !line.used {
+                if self.flags[i] & (FLAG_PREFETCHED | FLAG_USED) == FLAG_PREFETCHED {
                     self.stats.useful_prefetches += 1;
                 }
-                line.used = true;
+                self.flags[i] |= FLAG_USED;
             }
             return None;
         }
 
-        // Pick a victim: invalid way first, else per the policy.
-        let policy = self.policy;
-        let lines = &mut self.lines[range];
-        let victim_idx = match lines.iter().position(|l| !l.valid) {
-            Some(i) => i,
-            None => match policy {
-                ReplacementPolicy::Lru => lines
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.stamp)
-                    .map(|(i, _)| i)
-                    .expect("set has ways"),
+        // Pick a victim: invalid way first, else per the policy. The scans
+        // walk the packed per-set tag / stamp / RRPV slices.
+        let range = self.set_range(block);
+        let start = range.start;
+        let victim_idx = match self.tags[range.clone()].iter().position(|&t| t == INVALID_TAG) {
+            Some(i) => start + i,
+            None => match self.policy {
+                ReplacementPolicy::Lru => {
+                    start
+                        + self.stamps[range]
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, &s)| s)
+                            .map(|(i, _)| i)
+                            .expect("set has ways")
+                }
                 ReplacementPolicy::Srrip => loop {
                     // Evict the first line predicted for a distant
                     // re-reference; age everyone until one appears.
-                    if let Some(i) = lines.iter().position(|l| l.rrpv >= 3) {
-                        break i;
+                    if let Some(i) = self.rrpvs[range.clone()].iter().position(|&r| r >= 3) {
+                        break start + i;
                     }
-                    for l in lines.iter_mut() {
-                        l.rrpv = (l.rrpv + 1).min(3);
+                    for r in &mut self.rrpvs[range.clone()] {
+                        *r = (*r + 1).min(3);
                     }
                 },
             },
         };
-        let victim = lines[victim_idx];
-        let evicted = victim.valid.then_some(Evicted {
-            block: victim.tag,
-            dirty: victim.dirty,
-            was_prefetch: victim.prefetched,
-            was_used: victim.used,
+        let victim_tag = self.tags[victim_idx];
+        let victim_flags = self.flags[victim_idx];
+        let evicted = (victim_tag != INVALID_TAG).then_some(Evicted {
+            block: victim_tag,
+            dirty: victim_flags & FLAG_DIRTY != 0,
+            was_prefetch: victim_flags & FLAG_PREFETCHED != 0,
+            was_used: victim_flags & FLAG_USED != 0,
         });
         if let Some(e) = &evicted {
             if e.was_prefetch && !e.was_used {
                 self.stats.useless_prefetches += 1;
             }
         }
-        lines[victim_idx] = Line {
-            tag: block,
-            valid: true,
-            dirty,
-            prefetched: kind == FillKind::Prefetch,
-            used: kind == FillKind::Demand,
-            stamp: clock,
-            rrpv: 2, // SRRIP: insert with a long re-reference prediction
-        };
+        self.tags[victim_idx] = block;
+        self.stamps[victim_idx] = clock;
+        // A demand fill starts life "used"; a prefetch fill must earn it.
+        let mut flags = if kind == FillKind::Prefetch { FLAG_PREFETCHED } else { FLAG_USED };
+        if dirty {
+            flags |= FLAG_DIRTY;
+        }
+        self.flags[victim_idx] = flags;
+        self.rrpvs[victim_idx] = 2; // SRRIP: insert with a long re-reference prediction
         evicted
     }
 
@@ -282,31 +300,25 @@ impl Cache {
     pub fn touch(&mut self, block: u64) -> bool {
         self.clock += 1;
         let clock = self.clock;
-        let range = self.set_range(block);
-        for line in &mut self.lines[range] {
-            if line.valid && line.tag == block {
-                line.stamp = clock;
-                return true;
-            }
+        if let Some(i) = self.find_way(block) {
+            self.stamps[i] = clock;
+            return true;
         }
         false
     }
 
     /// Invalidates a block if present, returning whether it was dirty.
     pub fn invalidate(&mut self, block: u64) -> Option<bool> {
-        let range = self.set_range(block);
-        for line in &mut self.lines[range] {
-            if line.valid && line.tag == block {
-                line.valid = false;
-                return Some(line.dirty);
-            }
+        if let Some(i) = self.find_way(block) {
+            self.tags[i] = INVALID_TAG;
+            return Some(self.flags[i] & FLAG_DIRTY != 0);
         }
         None
     }
 
     /// Number of valid lines (for tests / occupancy metrics).
     pub fn occupancy(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
     }
 }
 

@@ -87,13 +87,13 @@ fn main() {
     println!();
     print!(
         "{}",
-        WeightHistogram::of(filter.perceptron().table(idx))
+        WeightHistogram::of(filter.perceptron().feature_weights(idx))
             .render(&format!("weights: {}", strongest.label()), 32)
     );
     println!();
     print!(
         "{}",
-        WeightHistogram::of(filter.perceptron().table(last))
+        WeightHistogram::of(filter.perceptron().feature_weights(last))
             .render("weights: last_signature (rejected by the paper)", 32)
     );
 }

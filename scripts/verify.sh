@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
-# Tier-1 verification gate: release build + full test suite.
-# With --quick, additionally smoke-run fig09 and show its throughput.
+# Tier-1 verification gate: release build + clippy (deny warnings) + full
+# test suite.
 #
-#   scripts/verify.sh           # build + tests
-#   scripts/verify.sh --quick   # build + tests + fig09 smoke run
+#   scripts/verify.sh           # build + clippy + tests
+#   scripts/verify.sh --quick   # ... + fig09 smoke run with throughput
+#   scripts/verify.sh --bench   # ... + hot-path micro-benchmarks and the
+#                               #       throughput comparison table
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -11,16 +13,28 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --release =="
 cargo build --release
 
-echo "== cargo test -q =="
-cargo test -q
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
 
-if [ "${1:-}" = "--quick" ]; then
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace
+
+mode="${1:-}"
+
+if [ "$mode" = "--quick" ] || [ "$mode" = "--bench" ]; then
     echo "== fig09 smoke run (--quick) =="
     ./target/release/fig09_single_core --quick > /dev/null
     if [ -f results/bench_throughput.json ]; then
         echo "latest throughput record:"
         tail -2 results/bench_throughput.json | head -1
     fi
+fi
+
+if [ "$mode" = "--bench" ]; then
+    echo "== hot-path micro-benchmarks =="
+    cargo bench -p ppf-bench --bench hot_paths
+    echo "== throughput comparison (last two records per experiment) =="
+    ./scripts/bench_compare || true
 fi
 
 echo "verify: OK"

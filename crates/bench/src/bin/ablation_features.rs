@@ -4,8 +4,9 @@
 
 use ppf::{FeatureKind, Ppf, PpfConfig};
 use ppf_analysis::{geometric_mean, TextTable};
+use ppf_bench::sweep::Sweep;
 use ppf_bench::throughput::record_throughput;
-use ppf_bench::{run_single, runner, RunScale, Scheme};
+use ppf_bench::{run_single, runner, sweep_scalars, RunScale, Scheme};
 use ppf_prefetchers::Spp;
 use ppf_sim::{Prefetcher, Simulation, SystemConfig};
 use ppf_trace::{Suite, TraceBuilder, Workload};
@@ -24,34 +25,45 @@ fn main() {
     let workloads = Workload::memory_intensive(Suite::Spec2017);
     let full = FeatureKind::default_set();
     let threads = runner::thread_count();
+    let sweep = Sweep::from_args("ablation_features");
     let t0 = std::time::Instant::now();
     let mut runs = 0u64;
 
     // Baselines per workload.
-    let base_jobs: Vec<_> = workloads
+    let base_jobs: Vec<(String, runner::BoxedJob<f64>)> = workloads
         .iter()
         .map(|w| {
-            move || {
+            let key = format!("baseline/{}", w.name());
+            let w = w.clone();
+            let job: runner::BoxedJob<f64> = Box::new(move || {
                 let ipc =
-                    run_single(SystemConfig::single_core(), w, Scheme::Baseline, scale).ipc();
+                    run_single(SystemConfig::single_core(), &w, Scheme::Baseline, scale).ipc();
                 eprintln!("  baseline {} done", w.name());
                 ipc
-            }
+            });
+            (key, job)
         })
         .collect();
     runs += base_jobs.len() as u64;
-    let base = runner::run_indexed(base_jobs, threads);
+    let base = sweep_scalars(&sweep, base_jobs);
 
     let mut t = TextTable::new(vec!["configuration", "geomean speedup"]);
     let mut eval = |label: String, features: Vec<FeatureKind>, t: &mut TextTable| {
-        let features = &features;
-        let jobs: Vec<_> = workloads
+        let jobs: Vec<(String, runner::BoxedJob<f64>)> = workloads
             .iter()
             .zip(&base)
-            .map(|(w, b)| move || run_with_features(w, features.clone(), scale) / b)
+            .filter_map(|(w, b)| {
+                let b = (*b)?;
+                let key = format!("{label}/{}", w.name());
+                let w = w.clone();
+                let features = features.clone();
+                let job: runner::BoxedJob<f64> =
+                    Box::new(move || run_with_features(&w, features, scale) / b);
+                Some((key, job))
+            })
             .collect();
         runs += jobs.len() as u64;
-        let xs = runner::run_indexed(jobs, threads);
+        let xs: Vec<f64> = sweep_scalars(&sweep, jobs).into_iter().flatten().collect();
         let g = geometric_mean(&xs);
         eprintln!("  {label}: {g:.3}");
         t.row(vec![label, format!("{g:.3}")]);

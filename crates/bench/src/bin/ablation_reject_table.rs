@@ -4,8 +4,9 @@
 
 use ppf::{Ppf, PpfConfig};
 use ppf_analysis::{geometric_mean, TextTable};
+use ppf_bench::sweep::Sweep;
 use ppf_bench::throughput::record_throughput;
-use ppf_bench::{run_single, runner, RunScale, Scheme};
+use ppf_bench::{run_single, runner, sweep_scalars, RunScale, Scheme};
 use ppf_prefetchers::Spp;
 use ppf_sim::{Prefetcher, Simulation, SystemConfig};
 use ppf_trace::{Suite, TraceBuilder, Workload};
@@ -14,26 +15,33 @@ fn main() {
     let scale = RunScale::from_args();
     let workloads = Workload::memory_intensive(Suite::Spec2017);
     let threads = runner::thread_count();
+    let sweep = Sweep::from_args("ablation_reject_table");
     let t0 = std::time::Instant::now();
     let mut t = TextTable::new(vec!["configuration", "geomean speedup"]);
-    let base_jobs: Vec<_> = workloads
+    let base_jobs: Vec<(String, runner::BoxedJob<f64>)> = workloads
         .iter()
         .map(|w| {
-            move || {
+            let key = format!("baseline/{}", w.name());
+            let w = w.clone();
+            let job: runner::BoxedJob<f64> = Box::new(move || {
                 let ipc =
-                    run_single(SystemConfig::single_core(), w, Scheme::Baseline, scale).ipc();
+                    run_single(SystemConfig::single_core(), &w, Scheme::Baseline, scale).ipc();
                 eprintln!("  baseline {} done", w.name());
                 ipc
-            }
+            });
+            (key, job)
         })
         .collect();
-    let base = runner::run_indexed(base_jobs, threads);
+    let base = sweep_scalars(&sweep, base_jobs);
     for (label, entries) in [("1024-entry reject table (paper)", 1024usize), ("disabled (1 entry)", 1)] {
-        let jobs: Vec<_> = workloads
+        let jobs: Vec<(String, runner::BoxedJob<f64>)> = workloads
             .iter()
             .zip(&base)
-            .map(|(w, b)| {
-                move || {
+            .filter_map(|(w, b)| {
+                let b = (*b)?;
+                let key = format!("reject{entries}/{}", w.name());
+                let w = w.clone();
+                let job: runner::BoxedJob<f64> = Box::new(move || {
                     let cfg = PpfConfig {
                         reject_table_entries: entries.next_power_of_two(),
                         ..PpfConfig::default()
@@ -43,10 +51,11 @@ fn main() {
                     let mut sim = Simulation::new(SystemConfig::single_core());
                     sim.add_core(w.name(), trace, pf);
                     sim.run(scale.warmup, scale.measure).ipc() / b
-                }
+                });
+                Some((key, job))
             })
             .collect();
-        let xs = runner::run_indexed(jobs, threads);
+        let xs: Vec<f64> = sweep_scalars(&sweep, jobs).into_iter().flatten().collect();
         let g = geometric_mean(&xs);
         eprintln!("  {label}: {g:.3}");
         t.row(vec![label.to_string(), format!("{g:.3}")]);

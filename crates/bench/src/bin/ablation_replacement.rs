@@ -4,8 +4,9 @@
 //! pollution), so their gains do not simply add.
 
 use ppf_analysis::{geometric_mean, TextTable};
+use ppf_bench::sweep::Sweep;
 use ppf_bench::throughput::record_throughput;
-use ppf_bench::{run_single, runner, RunScale, Scheme};
+use ppf_bench::{run_single, runner, sweep_scalars, RunScale, Scheme};
 use ppf_sim::{ReplacementPolicy, SystemConfig};
 use ppf_trace::{Suite, Workload};
 
@@ -20,6 +21,7 @@ fn main() {
     let scale = RunScale::from_args();
     let workloads = Workload::memory_intensive(Suite::Spec2017);
     let threads = runner::thread_count();
+    let sweep = Sweep::from_args("ablation_replacement");
     let t0 = std::time::Instant::now();
     println!("Replacement-policy ablation — memory-intensive subset\n");
     let mut t = TextTable::new(vec!["policy", "SPP", "PPF"]);
@@ -28,17 +30,20 @@ fn main() {
     {
         let mut cells = vec![label.to_string()];
         for scheme in [Scheme::Spp, Scheme::Ppf] {
-            let jobs: Vec<_> = workloads
+            let jobs: Vec<(String, runner::BoxedJob<f64>)> = workloads
                 .iter()
                 .map(|w| {
-                    move || {
-                        let base = run_single(cfg_with(policy), w, Scheme::Baseline, scale);
-                        let r = run_single(cfg_with(policy), w, scheme, scale);
+                    let key = format!("{:?}/{}/{}", policy, scheme.label(), w.name());
+                    let w = w.clone();
+                    let job: runner::BoxedJob<f64> = Box::new(move || {
+                        let base = run_single(cfg_with(policy), &w, Scheme::Baseline, scale);
+                        let r = run_single(cfg_with(policy), &w, scheme, scale);
                         r.ipc() / base.ipc()
-                    }
+                    });
+                    (key, job)
                 })
                 .collect();
-            let xs = runner::run_indexed(jobs, threads);
+            let xs: Vec<f64> = sweep_scalars(&sweep, jobs).into_iter().flatten().collect();
             eprintln!("  {label}/{}: done", scheme.label());
             cells.push(format!("{:.3}", geometric_mean(&xs)));
         }

@@ -4,8 +4,9 @@
 
 use ppf::{FeatureKind, Ppf, PpfConfig, StorageBudget};
 use ppf_analysis::{geometric_mean, TextTable};
+use ppf_bench::sweep::Sweep;
 use ppf_bench::throughput::record_throughput;
-use ppf_bench::{run_single, runner, RunScale, Scheme};
+use ppf_bench::{run_single, runner, sweep_scalars, RunScale, Scheme};
 use ppf_prefetchers::{Spp, SppConfig};
 use ppf_sim::{Prefetcher, Simulation, SystemConfig};
 use ppf_trace::{Suite, TraceBuilder, Workload};
@@ -14,20 +15,24 @@ fn main() {
     let scale = RunScale::from_args();
     let workloads = Workload::memory_intensive(Suite::Spec2017);
     let threads = runner::thread_count();
+    let sweep = Sweep::from_args("ablation_tables");
     let t0 = std::time::Instant::now();
     let mut runs = workloads.len() as u64;
-    let base_jobs: Vec<_> = workloads
+    let base_jobs: Vec<(String, runner::BoxedJob<f64>)> = workloads
         .iter()
         .map(|w| {
-            move || {
+            let key = format!("baseline/{}", w.name());
+            let w = w.clone();
+            let job: runner::BoxedJob<f64> = Box::new(move || {
                 let ipc =
-                    run_single(SystemConfig::single_core(), w, Scheme::Baseline, scale).ipc();
+                    run_single(SystemConfig::single_core(), &w, Scheme::Baseline, scale).ipc();
                 eprintln!("  baseline {} done", w.name());
                 ipc
-            }
+            });
+            (key, job)
         })
         .collect();
-    let base = runner::run_indexed(base_jobs, threads);
+    let base = sweep_scalars(&sweep, base_jobs);
 
     println!("Table-size ablation — PPF geomean speedup vs. storage\n");
     let mut t = TextTable::new(vec!["metadata tables", "features", "storage (KB)", "geomean"]);
@@ -52,23 +57,29 @@ fn main() {
                 ..PpfConfig::default()
             };
             let kb = StorageBudget::compute(&SppConfig::default(), &cfg).total_kb();
-            let cfg = &cfg;
-            let jobs: Vec<_> = workloads
+            // Workloads whose baseline run failed are skipped (no ratio
+            // to compute); the sweep summary already named the failure.
+            let jobs: Vec<(String, runner::BoxedJob<f64>)> = workloads
                 .iter()
                 .zip(&base)
-                .map(|(w, b)| {
-                    move || {
+                .filter_map(|(w, b)| {
+                    let b = (*b)?;
+                    let key = format!("{fs_label}/{table_entries}/{}", w.name());
+                    let w = w.clone();
+                    let cfg = cfg.clone();
+                    let job: runner::BoxedJob<f64> = Box::new(move || {
                         let pf: Box<dyn Prefetcher> =
-                            Box::new(Ppf::with_config(Spp::default(), cfg.clone()));
+                            Box::new(Ppf::with_config(Spp::default(), cfg));
                         let trace = Box::new(TraceBuilder::new(w.clone()).seed(42).build());
                         let mut sim = Simulation::new(SystemConfig::single_core());
                         sim.add_core(w.name(), trace, pf);
                         sim.run(scale.warmup, scale.measure).ipc() / b
-                    }
+                    });
+                    Some((key, job))
                 })
                 .collect();
             runs += jobs.len() as u64;
-            let xs = runner::run_indexed(jobs, threads);
+            let xs: Vec<f64> = sweep_scalars(&sweep, jobs).into_iter().flatten().collect();
             let g = geometric_mean(&xs);
             eprintln!("  {fs_label}/{table_entries}: {g:.3}");
             t.row(vec![

@@ -3,28 +3,40 @@
 
 use ppf::{Ppf, PpfConfig};
 use ppf_analysis::{geometric_mean, TextTable};
+use ppf_bench::sweep::Sweep;
 use ppf_bench::throughput::record_throughput;
-use ppf_bench::{run_single, runner, RunScale, Scheme};
+use ppf_bench::{run_single, runner, sweep_scalars, RunScale, Scheme};
 use ppf_prefetchers::Spp;
 use ppf_sim::{Prefetcher, Simulation, SystemConfig};
 use ppf_trace::{Suite, TraceBuilder, Workload};
 
-fn geomean_speedup(workloads: &[Workload], base: &[f64], cfg: &PpfConfig, scale: RunScale) -> f64 {
-    let jobs: Vec<_> = workloads
+fn geomean_speedup(
+    sweep: &Sweep,
+    tag: &str,
+    workloads: &[Workload],
+    base: &[Option<f64>],
+    cfg: &PpfConfig,
+    scale: RunScale,
+) -> f64 {
+    let jobs: Vec<(String, runner::BoxedJob<f64>)> = workloads
         .iter()
         .zip(base)
-        .map(|(w, b)| {
-            move || {
-                let pf: Box<dyn Prefetcher> =
-                    Box::new(Ppf::with_config(Spp::default(), cfg.clone()));
+        .filter_map(|(w, b)| {
+            let b = (*b)?;
+            let key = format!("{tag}/{}", w.name());
+            let w = w.clone();
+            let cfg = cfg.clone();
+            let job: runner::BoxedJob<f64> = Box::new(move || {
+                let pf: Box<dyn Prefetcher> = Box::new(Ppf::with_config(Spp::default(), cfg));
                 let trace = Box::new(TraceBuilder::new(w.clone()).seed(42).build());
                 let mut sim = Simulation::new(SystemConfig::single_core());
                 sim.add_core(w.name(), trace, pf);
                 sim.run(scale.warmup, scale.measure).ipc() / b
-            }
+            });
+            Some((key, job))
         })
         .collect();
-    let xs = runner::run_indexed(jobs, runner::thread_count());
+    let xs: Vec<f64> = sweep_scalars(sweep, jobs).into_iter().flatten().collect();
     geometric_mean(&xs)
 }
 
@@ -32,31 +44,35 @@ fn main() {
     let scale = RunScale::from_args();
     let workloads = Workload::memory_intensive(Suite::Spec2017);
     let threads = runner::thread_count();
+    let sweep = Sweep::from_args("ablation_thresholds");
     let t0 = std::time::Instant::now();
-    let base_jobs: Vec<_> = workloads
+    let base_jobs: Vec<(String, runner::BoxedJob<f64>)> = workloads
         .iter()
         .map(|w| {
-            move || {
+            let key = format!("baseline/{}", w.name());
+            let w = w.clone();
+            let job: runner::BoxedJob<f64> = Box::new(move || {
                 let ipc =
-                    run_single(SystemConfig::single_core(), w, Scheme::Baseline, scale).ipc();
+                    run_single(SystemConfig::single_core(), &w, Scheme::Baseline, scale).ipc();
                 eprintln!("  baseline {} done", w.name());
                 ipc
-            }
+            });
+            (key, job)
         })
         .collect();
-    let base = runner::run_indexed(base_jobs, threads);
+    let base = sweep_scalars(&sweep, base_jobs);
 
     println!("Threshold ablation — PPF geomean speedup, memory-intensive subset\n");
     let mut t = TextTable::new(vec!["tau_hi", "tau_lo", "theta_p", "theta_n", "geomean"]);
     for (hi, lo) in [(-5, -15), (0, -10), (10, -5), (-10, -25), (25, 0)] {
         let cfg = PpfConfig { tau_hi: hi, tau_lo: lo, ..PpfConfig::default() };
-        let g = geomean_speedup(&workloads, &base, &cfg, scale);
+        let g = geomean_speedup(&sweep, &format!("tau{hi}_{lo}"), &workloads, &base, &cfg, scale);
         eprintln!("  tau ({hi},{lo}): {g:.3}");
         t.row(vec![hi.to_string(), lo.to_string(), "90".into(), "-80".into(), format!("{g:.3}")]);
     }
     for (p, n) in [(90, -80), (40, -35), (135, -144)] {
         let cfg = PpfConfig { theta_p: p, theta_n: n, ..PpfConfig::default() };
-        let g = geomean_speedup(&workloads, &base, &cfg, scale);
+        let g = geomean_speedup(&sweep, &format!("theta{p}_{n}"), &workloads, &base, &cfg, scale);
         eprintln!("  theta ({p},{n}): {g:.3}");
         t.row(vec!["-5".into(), "-15".into(), p.to_string(), n.to_string(), format!("{g:.3}")]);
     }

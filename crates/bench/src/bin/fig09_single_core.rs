@@ -23,7 +23,7 @@ fn main() {
         threads
     );
     let t0 = std::time::Instant::now();
-    let rows = run_suite(&workloads, SystemConfig::single_core, scale);
+    let rows = run_suite("fig09_single_core", &workloads, SystemConfig::single_core, scale).rows;
     record_throughput(
         "fig09_single_core",
         threads,

@@ -17,7 +17,7 @@ fn main() {
         threads
     );
     let t0 = std::time::Instant::now();
-    let rows = run_suite(&workloads, SystemConfig::single_core, scale);
+    let rows = run_suite("fig10_coverage", &workloads, SystemConfig::single_core, scale).rows;
     record_throughput(
         "fig10_coverage",
         threads,

@@ -7,12 +7,13 @@ use ppf_bench::throughput::record_throughput;
 use ppf_bench::{run_mix_suite, runner, RunScale, Scheme};
 use ppf_trace::{MixGenerator, Suite, Workload, WorkloadMix};
 
-fn run_batch(label: &str, mixes: &[WorkloadMix], scale: RunScale) {
+fn run_batch(label: &str, experiment: &str, mixes: &[WorkloadMix], scale: RunScale) {
     let cores = mixes[0].cores();
     let threads = runner::thread_count();
     eprintln!("{label}: {} mixes x 5 schemes on {threads} thread(s)...", mixes.len());
     let t0 = std::time::Instant::now();
-    let (runs, instructions) = run_mix_suite(mixes, cores, scale);
+    let out = run_mix_suite(experiment, mixes, cores, scale);
+    let (runs, instructions) = (out.runs, out.instructions);
     record_throughput(
         &format!("fig11_four_core[{label}]"),
         threads,
@@ -46,10 +47,10 @@ fn main() {
     let mixes = MixGenerator::new(intensive, 1).draw(scale.mixes, 4);
     println!("Figure 11 — 4-core weighted speedups, memory-intensive mixes");
     println!("(paper: PPF +51.2% over baseline, +11.4% over SPP)");
-    run_batch("mem-intensive 4-core", &mixes, scale);
+    run_batch("mem-intensive 4-core", "fig11_mem_intensive", &mixes, scale);
 
     let all = Workload::spec2017();
     let random_mixes = MixGenerator::new(all, 2).draw(scale.mixes / 2, 4);
     println!("\nFully random mixes (paper text: PPF +26.07% over baseline, +5.6% over SPP)");
-    run_batch("random 4-core", &random_mixes, scale);
+    run_batch("random 4-core", "fig11_random", &random_mixes, scale);
 }

@@ -17,7 +17,8 @@ fn main() {
     let threads = runner::thread_count();
     eprintln!("Figure 12: {} mixes x 5 schemes on {threads} thread(s)...", mixes.len());
     let t0 = std::time::Instant::now();
-    let (runs, instructions) = run_mix_suite(&mixes, 8, scale);
+    let out = run_mix_suite("fig12_eight_core", &mixes, 8, scale);
+    let (runs, instructions) = (out.runs, out.instructions);
     record_throughput("fig12_eight_core", threads, t0.elapsed(), instructions);
     let per_scheme: Vec<(Scheme, Vec<f64>)> = Scheme::prefetchers()
         .into_iter()

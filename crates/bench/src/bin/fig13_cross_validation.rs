@@ -21,11 +21,15 @@ fn main() {
         .collect();
     eprintln!("Figure 13(a): {} apps x 5 schemes on {threads} thread(s)...", cloud.len());
     let t0 = std::time::Instant::now();
-    let (runs, instructions) = run_mix_suite(&mixes, 4, scale);
+    let out = run_mix_suite("fig13_cloudsuite", &mixes, 4, scale);
+    let (runs, instructions) = (out.runs, out.instructions);
     record_throughput("fig13_cloudsuite", threads, t0.elapsed(), instructions);
 
     let mut t = TextTable::new(vec!["app", "BOP", "DA-AMPM", "SPP", "PPF"]);
-    for (w, run) in cloud.iter().zip(&runs) {
+    // Match runs back to apps by mix label (a failed app drops out of
+    // `runs` rather than shifting the rows below it).
+    for (w, mix) in cloud.iter().zip(&mixes) {
+        let Some(run) = runs.iter().find(|r| r.label == mix.label()) else { continue };
         let mut cells = vec![w.name().to_string()];
         for (_, ws) in &run.speedups {
             cells.push(format!("{ws:.3}"));
@@ -51,7 +55,7 @@ fn main() {
     println!("Figure 13(b) — SPEC CPU 2006-like single-core models\n");
     let workloads = Workload::suite_all(Suite::Spec2006);
     let t0 = std::time::Instant::now();
-    let rows = run_suite(&workloads, SystemConfig::single_core, scale);
+    let rows = run_suite("fig13_spec2006", &workloads, SystemConfig::single_core, scale).rows;
     record_throughput(
         "fig13_spec2006",
         threads,

@@ -14,14 +14,14 @@ fn main() {
     let workloads = Workload::memory_intensive(Suite::Spec2017);
     println!("Section 6.3 — memory-constrained configurations, mem-intensive subset\n");
     let mut t = TextTable::new(vec!["config", "BOP", "DA-AMPM", "SPP", "PPF"]);
-    let configs: [(&str, ConfigFn); 3] = [
-        ("default", SystemConfig::single_core),
-        ("low bandwidth (3.2 GB/s)", SystemConfig::low_bandwidth),
-        ("small LLC (512 KB)", SystemConfig::small_llc),
+    let configs: [(&str, &str, ConfigFn); 3] = [
+        ("default", "sec63_default", SystemConfig::single_core),
+        ("low bandwidth (3.2 GB/s)", "sec63_low_bandwidth", SystemConfig::low_bandwidth),
+        ("small LLC (512 KB)", "sec63_small_llc", SystemConfig::small_llc),
     ];
-    for (label, cfg) in configs {
+    for (label, experiment, cfg) in configs {
         eprintln!("config: {label}");
-        let rows = run_suite(&workloads, cfg, scale);
+        let rows = run_suite(experiment, &workloads, cfg, scale).rows;
         let mut cells = vec![label.to_string()];
         for s in Scheme::prefetchers() {
             let xs: Vec<f64> = rows.iter().map(|r| r.speedup(s)).collect();

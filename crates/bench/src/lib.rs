@@ -10,6 +10,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod runner;
+pub mod sweep;
 pub mod throughput;
 
 use ppf::{Ppf, PpfConfig};
@@ -231,37 +232,60 @@ impl SuiteRow {
     }
 }
 
-/// Runs every workload under every scheme on `make_cfg()`-configured
-/// single-core systems, reporting progress on stderr.
+/// Results of a fault-tolerant suite sweep.
 ///
-/// The (workload × scheme) grid runs on [`runner::thread_count`] worker
-/// threads; results are identical to a sequential run (every simulation is
-/// independent and results are collected by grid index). Use `--threads N`
-/// or `PPF_THREADS` to override the thread count.
-pub fn run_suite<F: Fn() -> SystemConfig + Sync>(
-    workloads: &[Workload],
-    make_cfg: F,
-    scale: RunScale,
-) -> Vec<SuiteRow> {
-    run_suite_with_threads(workloads, make_cfg, scale, runner::thread_count())
+/// A workload only yields a [`SuiteRow`] when all of its scheme runs
+/// succeeded — partial rows would silently skew cross-scheme comparisons,
+/// so they are dropped (and named in `dropped`) instead.
+#[derive(Debug)]
+pub struct SuiteOutcome {
+    /// Complete rows (every scheme succeeded), in workload order.
+    pub rows: Vec<SuiteRow>,
+    /// Workloads dropped because at least one scheme run failed.
+    pub dropped: Vec<String>,
+    /// Every failed job, in grid order.
+    pub failures: Vec<runner::JobError>,
+    /// Jobs restored from checkpoint records instead of re-run.
+    pub resumed: usize,
 }
 
-/// [`run_suite`] with an explicit worker-thread count (`<= 1` runs
-/// sequentially on the calling thread).
-pub fn run_suite_with_threads<F: Fn() -> SystemConfig + Sync>(
+/// Runs every workload under every scheme on `make_cfg()`-configured
+/// single-core systems, reporting progress and a sweep summary on stderr.
+///
+/// The (workload × scheme) grid goes through a checkpointed
+/// [`sweep::Sweep`] built from argv/env (`--threads`, `--job-timeout`,
+/// `--resume`, `PPF_*`): each job runs panic-isolated, successes are
+/// checkpointed under `experiment`, and a rerun with `--resume` skips
+/// completed jobs bit-exactly. Results are identical to a sequential run
+/// (every simulation is independent and results are collected by grid
+/// index).
+pub fn run_suite<F: Fn() -> SystemConfig>(
+    experiment: &str,
     workloads: &[Workload],
     make_cfg: F,
     scale: RunScale,
-    threads: usize,
-) -> Vec<SuiteRow> {
-    let make_cfg = &make_cfg;
-    let jobs: Vec<_> = workloads
+) -> SuiteOutcome {
+    run_suite_with(&sweep::Sweep::from_args(experiment), workloads, make_cfg, scale)
+}
+
+/// [`run_suite`] over an explicitly-configured [`sweep::Sweep`] (tests,
+/// embedding).
+pub fn run_suite_with<F: Fn() -> SystemConfig>(
+    sweep: &sweep::Sweep,
+    workloads: &[Workload],
+    make_cfg: F,
+    scale: RunScale,
+) -> SuiteOutcome {
+    let jobs: Vec<(String, runner::BoxedJob<SimReport>)> = workloads
         .iter()
         .flat_map(|w| Scheme::all().into_iter().map(move |s| (w, s)))
         .map(|(w, s)| {
-            move || {
+            let key = format!("{}/{}", w.name(), s.label());
+            let w = w.clone();
+            let cfg = make_cfg();
+            let job: runner::BoxedJob<SimReport> = Box::new(move || {
                 let t0 = std::time::Instant::now();
-                let r = run_single(make_cfg(), w, s, scale);
+                let r = run_single(cfg, &w, s, scale);
                 eprintln!(
                     "  {} / {}: ipc {:.3} ({} ms)",
                     w.name(),
@@ -269,19 +293,43 @@ pub fn run_suite_with_threads<F: Fn() -> SystemConfig + Sync>(
                     r.ipc(),
                     t0.elapsed().as_millis()
                 );
-                (s, r)
-            }
+                r
+            });
+            (key, job)
         })
         .collect();
-    let mut reports = runner::run_indexed(jobs, threads).into_iter();
-    workloads
-        .iter()
-        .map(|w| SuiteRow {
-            app: w.name().to_string(),
-            mem_intensive: w.is_memory_intensive(),
-            reports: reports.by_ref().take(Scheme::all().len()).collect(),
-        })
-        .collect()
+    let out = sweep.run(jobs);
+    out.report();
+    let resumed = out.resumed;
+
+    let mut grid = out.results.into_iter();
+    let mut rows = Vec::new();
+    let mut dropped = Vec::new();
+    let mut failures = Vec::new();
+    for w in workloads {
+        let mut reports = Vec::new();
+        let mut complete = true;
+        for s in Scheme::all() {
+            match grid.next().expect("one outcome per grid cell").1 {
+                Ok(report) => reports.push((s, report)),
+                Err(e) => {
+                    complete = false;
+                    failures.push(e);
+                }
+            }
+        }
+        if complete {
+            rows.push(SuiteRow {
+                app: w.name().to_string(),
+                mem_intensive: w.is_memory_intensive(),
+                reports,
+            });
+        } else {
+            eprintln!("[sweep] dropped {}: incomplete results", w.name());
+            dropped.push(w.name().to_string());
+        }
+    }
+    SuiteOutcome { rows, dropped, failures, resumed }
 }
 
 /// Weighted speedups of one multi-programmed mix under every prefetcher.
@@ -294,27 +342,49 @@ pub struct MixRun {
     pub speedups: Vec<(Scheme, f64)>,
 }
 
-/// Runs every mix under every scheme (plus the baseline) on `cores`-core
-/// systems and computes weighted speedups against per-workload isolated
-/// IPCs, parallelizing across [`runner::thread_count`] workers.
+/// Results of a fault-tolerant multi-core mix sweep.
 ///
-/// Returns the mix results in input order plus the nominal number of
-/// simulated instructions (for throughput accounting).
-pub fn run_mix_suite(
-    mixes: &[WorkloadMix],
-    cores: usize,
-    scale: RunScale,
-) -> (Vec<MixRun>, u64) {
-    run_mix_suite_with_threads(mixes, cores, scale, runner::thread_count())
+/// A mix only yields a [`MixRun`] when its isolated-IPC jobs and all of
+/// its scheme runs succeeded; otherwise it is dropped (and named in
+/// `dropped`).
+#[derive(Debug)]
+pub struct MixSuiteOutcome {
+    /// Completed mixes, in input order.
+    pub runs: Vec<MixRun>,
+    /// Nominal simulated instructions (for throughput accounting).
+    pub instructions: u64,
+    /// Mix labels dropped because a contributing job failed.
+    pub dropped: Vec<String>,
+    /// Every failed job (isolated and grid), in job order.
+    pub failures: Vec<runner::JobError>,
+    /// Jobs restored from checkpoint records instead of re-run.
+    pub resumed: usize,
 }
 
-/// [`run_mix_suite`] with an explicit worker-thread count.
-pub fn run_mix_suite_with_threads(
+/// Runs every mix under every scheme (plus the baseline) on `cores`-core
+/// systems and computes weighted speedups against per-workload isolated
+/// IPCs.
+///
+/// Both job grids (isolated IPCs, then mix × scheme) go through one
+/// checkpointed [`sweep::Sweep`] built from argv/env — see [`run_suite`]
+/// for the resume/fault-isolation semantics. Mix results come back in
+/// input order.
+pub fn run_mix_suite(
+    experiment: &str,
     mixes: &[WorkloadMix],
     cores: usize,
     scale: RunScale,
-    threads: usize,
-) -> (Vec<MixRun>, u64) {
+) -> MixSuiteOutcome {
+    run_mix_suite_with(&sweep::Sweep::from_args(experiment), mixes, cores, scale)
+}
+
+/// [`run_mix_suite`] over an explicitly-configured [`sweep::Sweep`].
+pub fn run_mix_suite_with(
+    sweep: &sweep::Sweep,
+    mixes: &[WorkloadMix],
+    cores: usize,
+    scale: RunScale,
+) -> MixSuiteOutcome {
     // Isolated IPCs are shared across mixes; compute each unique workload
     // once, in parallel, in first-appearance order.
     let mut unique: Vec<&Workload> = Vec::new();
@@ -325,58 +395,118 @@ pub fn run_mix_suite_with_threads(
             }
         }
     }
-    let iso_jobs: Vec<_> = unique
+    let iso_jobs: Vec<(String, runner::BoxedJob<f64>)> = unique
         .iter()
         .map(|w| {
-            move || {
-                let ipc = isolated_ipc(w, cores, scale);
+            let key = format!("isolated/{}", w.name());
+            let w = (*w).clone();
+            let job: runner::BoxedJob<f64> = Box::new(move || {
+                let ipc = isolated_ipc(&w, cores, scale);
                 eprintln!("  isolated {}: ipc {:.3}", w.name(), ipc);
                 ipc
-            }
+            });
+            (key, job)
         })
         .collect();
-    let iso_ipcs = runner::run_indexed(iso_jobs, threads);
-    let isolated: std::collections::HashMap<&str, f64> =
-        unique.iter().map(|w| w.name()).zip(iso_ipcs).collect();
+    let iso_out = sweep.run(iso_jobs);
+    let iso_ok = iso_out.ok_count();
+    let mut resumed = iso_out.resumed;
+
+    let mut failures: Vec<runner::JobError> = Vec::new();
+    let mut isolated: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    for (w, (_key, outcome)) in unique.iter().zip(iso_out.results) {
+        match outcome {
+            Ok(ipc) => {
+                isolated.insert(w.name().to_string(), ipc);
+            }
+            Err(e) => failures.push(e),
+        }
+    }
 
     // The (mix × scheme) grid, baseline included.
     let schemes = Scheme::all();
-    let jobs: Vec<_> = mixes
+    let jobs: Vec<(String, runner::BoxedJob<Vec<f64>>)> = mixes
         .iter()
         .flat_map(|mix| schemes.into_iter().map(move |s| (mix, s)))
         .map(|(mix, s)| {
-            move || {
-                let r = run_mix(mix, s, scale);
+            let key = format!("{}/{}", mix.label(), s.label());
+            let mix = mix.clone();
+            let job: runner::BoxedJob<Vec<f64>> = Box::new(move || {
+                let r = run_mix(&mix, s, scale);
                 eprintln!("  {} / {}: done", mix.label(), s.label());
                 r.cores.iter().map(|c| c.ipc()).collect::<Vec<f64>>()
-            }
+            });
+            (key, job)
         })
         .collect();
-    let all_ipcs = runner::run_indexed(jobs, threads);
+    let grid_out = sweep.run(jobs);
+    let grid_ok = grid_out.ok_count();
+    resumed += grid_out.resumed;
 
-    let runs = mixes
-        .iter()
-        .enumerate()
-        .map(|(m, mix)| {
-            let iso: Vec<f64> = mix.workloads.iter().map(|w| isolated[w.name()]).collect();
-            let grid = &all_ipcs[m * schemes.len()..(m + 1) * schemes.len()];
-            let base_idx = schemes.iter().position(|s| *s == Scheme::Baseline).expect("baseline");
-            let base_ipc = &grid[base_idx];
-            let speedups = Scheme::prefetchers()
-                .into_iter()
-                .map(|s| {
-                    let idx = schemes.iter().position(|x| *x == s).expect("scheme");
-                    (s, ppf_analysis::weighted_speedup(&grid[idx], base_ipc, &iso))
-                })
-                .collect();
-            MixRun { label: mix.label(), speedups }
-        })
-        .collect();
+    let mut runs = Vec::new();
+    let mut dropped = Vec::new();
+    let mut grid = grid_out.results.into_iter();
+    for mix in mixes {
+        let mut per_scheme: Vec<(Scheme, Vec<f64>)> = Vec::new();
+        let mut complete = true;
+        for s in schemes {
+            match grid.next().expect("one outcome per grid cell").1 {
+                Ok(ipcs) => per_scheme.push((s, ipcs)),
+                Err(e) => {
+                    complete = false;
+                    failures.push(e);
+                }
+            }
+        }
+        let iso: Option<Vec<f64>> =
+            mix.workloads.iter().map(|w| isolated.get(w.name()).copied()).collect();
+        let (true, Some(iso)) = (complete, iso) else {
+            dropped.push(mix.label());
+            continue;
+        };
+        let base_ipc =
+            &per_scheme.iter().find(|(s, _)| *s == Scheme::Baseline).expect("baseline").1;
+        let speedups = Scheme::prefetchers()
+            .into_iter()
+            .map(|s| {
+                let ipcs = &per_scheme.iter().find(|(x, _)| *x == s).expect("scheme").1;
+                (s, ppf_analysis::weighted_speedup(ipcs, base_ipc, &iso))
+            })
+            .collect();
+        runs.push(MixRun { label: mix.label(), speedups });
+    }
+
+    eprintln!(
+        "[sweep] {}: {} ok, {} failed, {} resumed",
+        sweep.experiment(),
+        iso_ok + grid_ok,
+        failures.len(),
+        resumed
+    );
+    for e in &failures {
+        eprintln!("[sweep] FAILED {e}");
+    }
+    for d in &dropped {
+        eprintln!("[sweep] dropped {d}: incomplete results");
+    }
 
     let per_mix = (cores as u64) * (scale.warmup + scale.measure / 2);
     let instructions = (unique.len() as u64) * (scale.warmup + scale.measure)
         + (mixes.len() as u64) * (schemes.len() as u64) * per_mix;
-    (runs, instructions)
+    MixSuiteOutcome { runs, instructions, dropped, failures, resumed }
+}
+
+/// Runs one labelled grid of scalar jobs through `sweep`, reports the
+/// summary on stderr, and returns each job's value in input order (`None`
+/// for failed jobs) — the shared driver for the ablation binaries, whose
+/// grids produce per-workload speedup ratios rather than full reports.
+pub fn sweep_scalars(
+    sweep: &sweep::Sweep,
+    jobs: Vec<(String, runner::BoxedJob<f64>)>,
+) -> Vec<Option<f64>> {
+    let out = sweep.run(jobs);
+    out.report();
+    out.into_outcomes().into_iter().map(Result::ok).collect()
 }
 
 /// Coverage of a prefetching run versus a baseline run at one cache level:

@@ -1,4 +1,5 @@
-//! A dependency-free parallel job runner for experiment sweeps.
+//! A dependency-free, fault-tolerant parallel job runner for experiment
+//! sweeps.
 //!
 //! Experiments are embarrassingly parallel grids of independent simulations
 //! (workload × scheme, mix × scheme). Each job is deterministic and owns all
@@ -7,37 +8,253 @@
 //! that: jobs are pulled from a shared queue by `N` scoped worker threads
 //! and each result is written to its job's original index, so output is
 //! bit-identical to sequential execution regardless of scheduling.
+//!
+//! # Failure model
+//!
+//! A multi-hour 8-core sweep must not discard every finished result because
+//! one job misbehaves, so every job runs inside [`std::panic::catch_unwind`]
+//! and the runner returns `Vec<Result<T, JobError>>` in job order: a
+//! panicking job yields `Err` in its own slot and every other slot is
+//! exactly what a clean run produces. The queue and result slots use
+//! poison-recovering locks, so a panic inside one worker can never
+//! cascade-poison the shared state of the others.
+//!
+//! [`run_watched`] additionally arms a per-job watchdog (`--job-timeout N`
+//! seconds or `PPF_JOB_TIMEOUT=N`, default off): a job that exceeds the
+//! limit is marked [`FailReason::TimedOut`] and the sweep moves on. The hung
+//! job's thread is abandoned (Rust cannot kill a thread) and dies with the
+//! process — acceptable for a CLI sweep, which is why the watchdog is
+//! opt-in.
 
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering the guard from a poisoned lock.
+///
+/// Safe here because jobs are `catch_unwind`-isolated: the protected data
+/// (a job queue iterator, a write-once result slot) is never left in a
+/// half-updated state by a panicking job, so the poison flag carries no
+/// information worth dying for.
+pub fn lock_unpoisoned<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Why a sweep job failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailReason {
+    /// The job panicked; the payload is the panic message.
+    Panicked(String),
+    /// The job exceeded the watchdog limit and was abandoned.
+    TimedOut(Duration),
+}
+
+/// A failed sweep job: which job, why, and how long it ran.
+#[derive(Debug, Clone)]
+pub struct JobError {
+    /// The job's label (resume key for sweep-driver jobs, `job N` otherwise).
+    pub label: String,
+    /// Panic payload or watchdog verdict.
+    pub reason: FailReason,
+    /// Wall-clock time the job consumed before failing.
+    pub wall: Duration,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.reason {
+            FailReason::Panicked(msg) => {
+                write!(f, "{}: panicked after {:.2}s: {msg}", self.label, self.wall.as_secs_f64())
+            }
+            FailReason::TimedOut(limit) => write!(
+                f,
+                "{}: timed out after {:.2}s (job timeout {:.0}s)",
+                self.label,
+                self.wall.as_secs_f64(),
+                limit.as_secs_f64()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// A job's outcome: its result, or a structured failure.
+pub type Outcome<T> = Result<T, JobError>;
+
+/// Per-job completion hook `(job index, label, wall time, outcome)`, called
+/// from the worker that finished the job (used for incremental
+/// checkpointing).
+pub type CompleteFn<'a, T> = &'a (dyn Fn(usize, &str, Duration, &Outcome<T>) + Sync);
+
+fn no_complete<T>() -> impl Fn(usize, &str, Duration, &Outcome<T>) + Sync {
+    |_, _, _, _| {}
+}
 
 /// Resolves the worker-thread count for experiment sweeps.
 ///
 /// Priority: a `--threads N` command-line flag, then the `PPF_THREADS`
 /// environment variable, then [`std::thread::available_parallelism`].
-/// Invalid values fall through to the next source; the result is always at
-/// least 1.
+///
+/// A malformed request — a bare trailing `--threads`, `--threads=0`, a
+/// non-numeric value, or an invalid `PPF_THREADS` — is rejected with a clear
+/// message on stderr and exit code 2 rather than silently falling through to
+/// a default the user did not ask for.
 pub fn thread_count() -> usize {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--threads" {
-            if let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) {
-                return n.max(1);
-            }
-        } else if let Some(v) = a.strip_prefix("--threads=") {
-            if let Ok(n) = v.parse::<usize>() {
-                return n.max(1);
-            }
+    match resolve_threads(std::env::args().skip(1), std::env::var("PPF_THREADS").ok().as_deref())
+    {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
         }
     }
-    if let Ok(v) = std::env::var("PPF_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Runs every job and returns the results in job order.
+/// Pure core of [`thread_count`]: `Ok(Some(n))` for an explicit request,
+/// `Ok(None)` when nothing was specified, `Err` for a malformed request.
+fn resolve_threads(
+    mut args: impl Iterator<Item = String>,
+    env: Option<&str>,
+) -> Result<Option<usize>, String> {
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            let v = args
+                .next()
+                .ok_or_else(|| "--threads requires a value (e.g. --threads 8)".to_string())?;
+            return parse_count(&v, "--threads").map(Some);
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            return parse_count(v, "--threads").map(Some);
+        }
+    }
+    match env {
+        Some(v) => parse_count(v, "PPF_THREADS").map(Some),
+        None => Ok(None),
+    }
+}
+
+fn parse_count(v: &str, source: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(0) => Err(format!("{source} must be at least 1, got 0")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("{source} expects a positive integer, got `{v}`")),
+    }
+}
+
+/// Resolves the per-job watchdog timeout: `--job-timeout N` (seconds, also
+/// `--job-timeout=N`), then `PPF_JOB_TIMEOUT=N`, then `None` (watchdog off).
+///
+/// Malformed values are rejected with exit code 2, like [`thread_count`].
+pub fn job_timeout() -> Option<Duration> {
+    match resolve_timeout(
+        std::env::args().skip(1),
+        std::env::var("PPF_JOB_TIMEOUT").ok().as_deref(),
+    ) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn resolve_timeout(
+    mut args: impl Iterator<Item = String>,
+    env: Option<&str>,
+) -> Result<Option<Duration>, String> {
+    while let Some(a) = args.next() {
+        if a == "--job-timeout" {
+            let v = args.next().ok_or_else(|| {
+                "--job-timeout requires a value in seconds (e.g. --job-timeout 600)".to_string()
+            })?;
+            return parse_timeout(&v, "--job-timeout").map(Some);
+        } else if let Some(v) = a.strip_prefix("--job-timeout=") {
+            return parse_timeout(v, "--job-timeout").map(Some);
+        }
+    }
+    match env {
+        Some(v) => parse_timeout(v, "PPF_JOB_TIMEOUT").map(Some),
+        None => Ok(None),
+    }
+}
+
+fn parse_timeout(v: &str, source: &str) -> Result<Duration, String> {
+    match v.parse::<f64>() {
+        Ok(s) if s > 0.0 && s.is_finite() => Ok(Duration::from_secs_f64(s)),
+        Ok(_) => Err(format!("{source} must be a positive number of seconds, got `{v}`")),
+        Err(_) => Err(format!("{source} expects a number of seconds, got `{v}`")),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f` with panic isolation, converting an unwind into a [`JobError`].
+fn guard<T>(label: &str, f: impl FnOnce() -> T) -> Outcome<T> {
+    let t0 = Instant::now();
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| JobError {
+        label: label.to_string(),
+        reason: FailReason::Panicked(panic_message(payload)),
+        wall: t0.elapsed(),
+    })
+}
+
+/// The shared worker loop: each `F` already encapsulates its own isolation
+/// (catch_unwind, optionally a watchdog) and must return an [`Outcome`]
+/// rather than panic.
+fn drive<T, F>(jobs: Vec<(String, F)>, threads: usize, on_complete: CompleteFn<T>) -> Vec<Outcome<T>>
+where
+    T: Send,
+    F: FnOnce(&str) -> Outcome<T> + Send,
+{
+    let n = jobs.len();
+    if threads <= 1 || n <= 1 {
+        return jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (label, f))| {
+                let t0 = Instant::now();
+                let result = f(&label);
+                on_complete(i, &label, t0.elapsed(), &result);
+                result
+            })
+            .collect();
+    }
+    let workers = threads.min(n);
+    let queue = Mutex::new(jobs.into_iter().enumerate());
+    let slots: Vec<Mutex<Option<Outcome<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Take the lock only long enough to pop one job.
+                let next = lock_unpoisoned(&queue).next();
+                let Some((i, (label, f))) = next else { break };
+                let t0 = Instant::now();
+                let result = f(&label);
+                on_complete(i, &label, t0.elapsed(), &result);
+                *lock_unpoisoned(&slots[i]) = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().unwrap_or_else(PoisonError::into_inner).expect("every job ran")
+        })
+        .collect()
+}
+
+/// Runs every job with panic isolation and returns the outcomes in job
+/// order.
 ///
 /// With `threads <= 1` (or a single job) the jobs run sequentially on the
 /// calling thread — the zero-risk fallback. Otherwise `min(threads, jobs)`
@@ -45,41 +262,121 @@ pub fn thread_count() -> usize {
 /// late still writes its result to the job's own slot, so the returned
 /// vector is identical to what the sequential path produces.
 ///
-/// # Panics
-///
-/// Propagates a panic from any job (the scope joins all workers first).
-pub fn run_indexed<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
+/// A panicking job becomes `Err(JobError)` in its own slot; all other slots
+/// are unaffected. Jobs are labelled `job N` — use [`run_labeled`] to attach
+/// meaningful labels.
+pub fn run_indexed<T, F>(jobs: Vec<F>, threads: usize) -> Vec<Outcome<T>>
 where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    if threads <= 1 || jobs.len() <= 1 {
-        return jobs.into_iter().map(|f| f()).collect();
+    let labeled =
+        jobs.into_iter().enumerate().map(|(i, f)| (format!("job {i}"), f)).collect();
+    run_labeled(labeled, threads)
+}
+
+/// [`run_indexed`] with a label per job (carried into each [`JobError`]).
+pub fn run_labeled<T, F>(jobs: Vec<(String, F)>, threads: usize) -> Vec<Outcome<T>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let hook = no_complete();
+    drive(
+        jobs.into_iter().map(|(label, f)| (label, move |l: &str| guard(l, f))).collect(),
+        threads,
+        &hook,
+    )
+}
+
+/// A heap-allocated sweep job (the `'static` bound is what lets the
+/// watchdog hand the job to an abandonable thread).
+pub type BoxedJob<T> = Box<dyn FnOnce() -> T + Send + 'static>;
+
+/// Runs a job on a disposable thread and waits at most `limit` for it.
+fn watchdog<T: Send + 'static>(label: &str, job: BoxedJob<T>, limit: Duration) -> Outcome<T> {
+    let t0 = Instant::now();
+    let (tx, rx) = mpsc::channel::<Outcome<T>>();
+    let owned = label.to_string();
+    let spawned = std::thread::Builder::new()
+        .name(format!("ppf-job {label}"))
+        .spawn(move || {
+            let _ = tx.send(guard(&owned, job));
+        });
+    if spawned.is_err() {
+        return Err(JobError {
+            label: label.to_string(),
+            reason: FailReason::Panicked("could not spawn watchdog job thread".into()),
+            wall: t0.elapsed(),
+        });
     }
-    let workers = threads.min(jobs.len());
-    let n = jobs.len();
-    let queue = Mutex::new(jobs.into_iter().enumerate());
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                // Take the lock only long enough to pop one job.
-                let next = queue.lock().expect("queue poisoned").next();
-                let Some((i, job)) = next else { break };
-                let result = job();
-                *slots[i].lock().expect("slot poisoned") = Some(result);
-            });
-        }
-    });
-    slots
+    match rx.recv_timeout(limit) {
+        Ok(outcome) => outcome,
+        Err(mpsc::RecvTimeoutError::Timeout) => Err(JobError {
+            label: label.to_string(),
+            reason: FailReason::TimedOut(limit),
+            wall: t0.elapsed(),
+        }),
+        // The sender dropped without sending: only possible if the job
+        // thread died outside catch_unwind (e.g. a non-unwinding abort would
+        // have taken the process with it, so treat this as a panic).
+        Err(mpsc::RecvTimeoutError::Disconnected) => Err(JobError {
+            label: label.to_string(),
+            reason: FailReason::Panicked("job thread exited without a result".into()),
+            wall: t0.elapsed(),
+        }),
+    }
+}
+
+/// Runs boxed jobs with panic isolation, an optional per-job watchdog, and a
+/// per-completion hook — the engine under the sweep driver.
+///
+/// With `timeout: Some(limit)`, each job runs on its own disposable thread;
+/// a job still running after `limit` is reported as
+/// [`FailReason::TimedOut`] and its thread abandoned (it dies with the
+/// process). With `timeout: None`, jobs run directly on the workers.
+pub fn run_watched<T: Send + 'static>(
+    jobs: Vec<(String, BoxedJob<T>)>,
+    threads: usize,
+    timeout: Option<Duration>,
+    on_complete: CompleteFn<T>,
+) -> Vec<Outcome<T>> {
+    match timeout {
+        None => drive(
+            jobs.into_iter().map(|(label, f)| (label, move |l: &str| guard(l, f))).collect(),
+            threads,
+            on_complete,
+        ),
+        Some(limit) => drive(
+            jobs.into_iter()
+                .map(|(label, f)| (label, move |l: &str| watchdog(l, f, limit)))
+                .collect(),
+            threads,
+            on_complete,
+        ),
+    }
+}
+
+/// Unwraps a vector of outcomes where no failure is expected (tests and
+/// infallible local sweeps).
+///
+/// # Panics
+///
+/// Panics on the first `Err`, with its job label and reason.
+pub fn expect_all<T>(outcomes: Vec<Outcome<T>>) -> Vec<T> {
+    outcomes
         .into_iter()
-        .map(|slot| slot.into_inner().expect("slot poisoned").expect("every job ran"))
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(e) => panic!("sweep job failed: {e}"),
+        })
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn preserves_job_order() {
@@ -94,7 +391,7 @@ mod tests {
                 }
             })
             .collect();
-        let got = run_indexed(jobs, 4);
+        let got = expect_all(run_indexed(jobs, 4));
         let want: Vec<i32> = (0..37).map(|i| i * 10).collect();
         assert_eq!(got, want);
     }
@@ -102,18 +399,177 @@ mod tests {
     #[test]
     fn sequential_fallback_matches() {
         let mk = || (0..16).map(|i| move || i * i).collect::<Vec<_>>();
-        assert_eq!(run_indexed(mk(), 1), run_indexed(mk(), 8));
+        assert_eq!(expect_all(run_indexed(mk(), 1)), expect_all(run_indexed(mk(), 8)));
     }
 
     #[test]
     fn empty_and_single() {
         let empty: Vec<fn() -> u8> = Vec::new();
         assert!(run_indexed(empty, 4).is_empty());
-        assert_eq!(run_indexed(vec![|| 7u8], 4), vec![7]);
+        assert_eq!(expect_all(run_indexed(vec![|| 7u8], 4)), vec![7]);
     }
 
     #[test]
     fn more_threads_than_jobs() {
-        assert_eq!(run_indexed(vec![|| 1, || 2], 64), vec![1, 2]);
+        assert_eq!(expect_all(run_indexed(vec![|| 1, || 2], 64)), vec![1, 2]);
+    }
+
+    #[test]
+    fn panicking_job_is_isolated() {
+        for threads in [1, 4] {
+            let jobs: Vec<Box<dyn FnOnce() -> i32 + Send>> = (0..12)
+                .map(|i| {
+                    let f: Box<dyn FnOnce() -> i32 + Send> = if i == 5 {
+                        Box::new(|| panic!("boom {}", 5))
+                    } else {
+                        Box::new(move || i * 2)
+                    };
+                    f
+                })
+                .collect();
+            let got = run_indexed(jobs, threads);
+            assert_eq!(got.len(), 12);
+            for (i, r) in got.iter().enumerate() {
+                if i == 5 {
+                    let e = r.as_ref().expect_err("job 5 panics");
+                    assert_eq!(e.label, "job 5");
+                    assert_eq!(e.reason, FailReason::Panicked("boom 5".into()));
+                } else {
+                    assert_eq!(*r.as_ref().expect("other jobs fine"), (i as i32) * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panic_does_not_cascade_poison() {
+        // Many panicking jobs interleaved with good ones: every good result
+        // must still land, even though workers observe panics constantly.
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..40)
+            .map(|i| {
+                let f: Box<dyn FnOnce() -> usize + Send> = if i % 3 == 0 {
+                    Box::new(move || panic!("injected {i}"))
+                } else {
+                    Box::new(move || i)
+                };
+                f
+            })
+            .collect();
+        let got = run_indexed(jobs, 6);
+        for (i, r) in got.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(r.is_err());
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_times_out_hung_job() {
+        let jobs: Vec<(String, BoxedJob<u32>)> = vec![
+            ("fast".into(), Box::new(|| 1)),
+            (
+                "hung".into(),
+                Box::new(|| {
+                    std::thread::sleep(Duration::from_secs(60));
+                    2
+                }),
+            ),
+            ("also-fast".into(), Box::new(|| 3)),
+        ];
+        let hook = no_complete();
+        let got = run_watched(jobs, 2, Some(Duration::from_millis(50)), &hook);
+        assert_eq!(*got[0].as_ref().unwrap(), 1);
+        let e = got[1].as_ref().expect_err("hung job times out");
+        assert_eq!(e.label, "hung");
+        assert!(matches!(e.reason, FailReason::TimedOut(_)));
+        assert_eq!(*got[2].as_ref().unwrap(), 3);
+    }
+
+    #[test]
+    fn watchdog_passes_fast_jobs_and_catches_panics() {
+        let jobs: Vec<(String, BoxedJob<u32>)> = vec![
+            ("ok".into(), Box::new(|| 7)),
+            ("bad".into(), Box::new(|| panic!("watched panic"))),
+        ];
+        let hook = no_complete();
+        let got = run_watched(jobs, 2, Some(Duration::from_secs(30)), &hook);
+        assert_eq!(*got[0].as_ref().unwrap(), 7);
+        let e = got[1].as_ref().expect_err("panic surfaces through watchdog");
+        assert_eq!(e.reason, FailReason::Panicked("watched panic".into()));
+    }
+
+    #[test]
+    fn completion_hook_sees_every_job() {
+        let count = AtomicUsize::new(0);
+        let hook = |_: usize, _: &str, _: Duration, _: &Outcome<u32>| {
+            count.fetch_add(1, Ordering::SeqCst);
+        };
+        let jobs: Vec<(String, BoxedJob<u32>)> =
+            (0..9u32).map(|i| (format!("j{i}"), Box::new(move || i) as BoxedJob<u32>)).collect();
+        let got = run_watched(jobs, 3, None, &hook);
+        assert_eq!(got.len(), 9);
+        assert_eq!(count.load(Ordering::SeqCst), 9);
+    }
+
+    fn strings(v: &[&str]) -> impl Iterator<Item = String> + use<> {
+        v.iter().map(|s| s.to_string()).collect::<Vec<_>>().into_iter()
+    }
+
+    #[test]
+    fn thread_arg_parsing() {
+        assert_eq!(resolve_threads(strings(&["--threads", "8"]), None), Ok(Some(8)));
+        assert_eq!(resolve_threads(strings(&["--threads=3"]), None), Ok(Some(3)));
+        assert_eq!(resolve_threads(strings(&["--quick"]), None), Ok(None));
+        assert_eq!(resolve_threads(strings(&[]), Some("5")), Ok(Some(5)));
+        // Flag beats environment.
+        assert_eq!(resolve_threads(strings(&["--threads", "2"]), Some("5")), Ok(Some(2)));
+    }
+
+    #[test]
+    fn thread_arg_rejects_malformed() {
+        assert!(resolve_threads(strings(&["--threads"]), None).is_err(), "bare trailing flag");
+        assert!(resolve_threads(strings(&["--threads=0"]), None).is_err(), "zero (eq form)");
+        assert!(resolve_threads(strings(&["--threads", "0"]), None).is_err(), "zero");
+        assert!(resolve_threads(strings(&["--threads", "lots"]), None).is_err(), "non-numeric");
+        assert!(resolve_threads(strings(&["--threads=-2"]), None).is_err(), "negative");
+        assert!(resolve_threads(strings(&[]), Some("0")).is_err(), "env zero");
+        assert!(resolve_threads(strings(&[]), Some("soon")).is_err(), "env non-numeric");
+    }
+
+    #[test]
+    fn timeout_arg_parsing() {
+        assert_eq!(
+            resolve_timeout(strings(&["--job-timeout", "30"]), None),
+            Ok(Some(Duration::from_secs(30)))
+        );
+        assert_eq!(
+            resolve_timeout(strings(&["--job-timeout=0.5"]), None),
+            Ok(Some(Duration::from_millis(500)))
+        );
+        assert_eq!(resolve_timeout(strings(&[]), Some("2")), Ok(Some(Duration::from_secs(2))));
+        assert_eq!(resolve_timeout(strings(&[]), None), Ok(None));
+        assert!(resolve_timeout(strings(&["--job-timeout"]), None).is_err());
+        assert!(resolve_timeout(strings(&["--job-timeout", "0"]), None).is_err());
+        assert!(resolve_timeout(strings(&["--job-timeout", "never"]), None).is_err());
+    }
+
+    #[test]
+    fn job_error_display_names_the_job() {
+        let e = JobError {
+            label: "619.lbm_s/PPF".into(),
+            reason: FailReason::Panicked("index out of bounds".into()),
+            wall: Duration::from_millis(1234),
+        };
+        let s = e.to_string();
+        assert!(s.contains("619.lbm_s/PPF"), "{s}");
+        assert!(s.contains("index out of bounds"), "{s}");
+        let t = JobError {
+            label: "mix00/SPP".into(),
+            reason: FailReason::TimedOut(Duration::from_secs(30)),
+            wall: Duration::from_secs(31),
+        };
+        assert!(t.to_string().contains("timed out"), "{t}");
     }
 }

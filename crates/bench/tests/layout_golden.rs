@@ -9,7 +9,8 @@
 //! run). If any refactor of the perceptron, tables, or cache perturbs a
 //! single counter or IPC bit, the digest changes and this test fails.
 
-use ppf_bench::{run_suite_with_threads, RunScale, Scheme};
+use ppf_bench::sweep::Sweep;
+use ppf_bench::{run_suite_with, RunScale, Scheme};
 use ppf_sim::SystemConfig;
 use ppf_trace::{Suite, Workload};
 
@@ -22,7 +23,9 @@ fn digest() -> String {
         .take(3)
         .collect();
     let scale = RunScale { warmup: 2_000, measure: 10_000, mixes: 1 };
-    let rows = run_suite_with_threads(&workloads, SystemConfig::single_core, scale, 1);
+    let rows =
+        run_suite_with(&Sweep::ephemeral("layout_golden", 1), &workloads, SystemConfig::single_core, scale)
+            .rows;
     let mut out = String::new();
     for row in &rows {
         for (scheme, report) in &row.reports {

@@ -3,7 +3,8 @@
 //! run, in the same order. These tests compare `Debug` renderings of the
 //! full result structures, which cover every counter in every report.
 
-use ppf_bench::{run_mix_suite_with_threads, run_suite_with_threads, RunScale};
+use ppf_bench::sweep::Sweep;
+use ppf_bench::{run_mix_suite_with, run_suite_with, RunScale};
 use ppf_sim::SystemConfig;
 use ppf_trace::{MixGenerator, Suite, Workload};
 
@@ -19,17 +20,29 @@ fn suite_parallel_matches_sequential() {
         .into_iter()
         .take(3)
         .collect();
-    let seq = run_suite_with_threads(&workloads, SystemConfig::single_core, tiny(), 1);
-    let par = run_suite_with_threads(&workloads, SystemConfig::single_core, tiny(), 4);
-    assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+    let seq = run_suite_with(
+        &Sweep::ephemeral("det_suite_seq", 1),
+        &workloads,
+        SystemConfig::single_core,
+        tiny(),
+    );
+    let par = run_suite_with(
+        &Sweep::ephemeral("det_suite_par", 4),
+        &workloads,
+        SystemConfig::single_core,
+        tiny(),
+    );
+    assert!(seq.failures.is_empty() && par.failures.is_empty());
+    assert_eq!(format!("{:?}", seq.rows), format!("{:?}", par.rows));
 }
 
 #[test]
 fn mix_suite_parallel_matches_sequential() {
     let pool = Workload::memory_intensive(Suite::Spec2017);
     let mixes = MixGenerator::new(pool, 7).draw(2, 2);
-    let (seq, seq_instr) = run_mix_suite_with_threads(&mixes, 2, tiny(), 1);
-    let (par, par_instr) = run_mix_suite_with_threads(&mixes, 2, tiny(), 4);
-    assert_eq!(seq_instr, par_instr);
-    assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+    let seq = run_mix_suite_with(&Sweep::ephemeral("det_mix_seq", 1), &mixes, 2, tiny());
+    let par = run_mix_suite_with(&Sweep::ephemeral("det_mix_par", 4), &mixes, 2, tiny());
+    assert!(seq.failures.is_empty() && par.failures.is_empty());
+    assert_eq!(seq.instructions, par.instructions);
+    assert_eq!(format!("{:?}", seq.runs), format!("{:?}", par.runs));
 }

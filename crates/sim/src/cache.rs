@@ -320,6 +320,57 @@ impl Cache {
     pub fn occupancy(&self) -> usize {
         self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
     }
+
+    /// Validates the cache's structural invariants, returning a description
+    /// of the first violation found:
+    ///
+    /// - a valid tag appears at most once per set (duplicates would make hit
+    ///   results depend on scan order),
+    /// - every valid tag indexes to the set that holds it,
+    /// - RRPV values stay within SRRIP's 2-bit range (≤ 3),
+    /// - per-way flags only use defined bits,
+    /// - no recency stamp runs ahead of the cache clock.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        const KNOWN_FLAGS: u8 = FLAG_DIRTY | FLAG_PREFETCHED | FLAG_USED;
+        for set in 0..self.sets {
+            let base = set * self.ways;
+            for way in 0..self.ways {
+                let i = base + way;
+                let tag = self.tags[i];
+                if tag == INVALID_TAG {
+                    continue;
+                }
+                let home = (tag as usize) & (self.sets - 1);
+                if home != set {
+                    return Err(format!(
+                        "block {tag:#x} stored in set {set} but indexes to set {home}"
+                    ));
+                }
+                if self.tags[base + way + 1..base + self.ways].contains(&tag) {
+                    return Err(format!("block {tag:#x} duplicated within set {set}"));
+                }
+                if self.rrpvs[i] > 3 {
+                    return Err(format!(
+                        "rrpv {} out of 2-bit range at set {set} way {way}",
+                        self.rrpvs[i]
+                    ));
+                }
+                if self.flags[i] & !KNOWN_FLAGS != 0 {
+                    return Err(format!(
+                        "undefined flag bits {:#04x} at set {set} way {way}",
+                        self.flags[i]
+                    ));
+                }
+                if self.stamps[i] > self.clock {
+                    return Err(format!(
+                        "stamp {} ahead of cache clock {} at set {set} way {way}",
+                        self.stamps[i], self.clock
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -509,6 +560,57 @@ mod tests {
             c.fill(i * 4, FillKind::Demand, false);
         }
         assert!(c.occupancy() <= 16);
+    }
+
+    #[test]
+    fn invariants_hold_after_heavy_traffic() {
+        let mut c = tiny_srrip();
+        for i in 0..500u64 {
+            c.demand_access(i % 37, i % 3 == 0);
+            c.fill(i % 61, if i % 2 == 0 { FillKind::Demand } else { FillKind::Prefetch }, false);
+            if i % 7 == 0 {
+                c.invalidate(i % 61);
+            }
+        }
+        c.check_invariants().expect("normal traffic preserves invariants");
+    }
+
+    #[test]
+    fn invariants_catch_duplicate_tag() {
+        let mut c = tiny();
+        c.fill(0, FillKind::Demand, false);
+        // Corrupt: copy the tag into the set's other way.
+        c.tags[1] = c.tags[0];
+        let err = c.check_invariants().unwrap_err();
+        assert!(err.contains("duplicated"), "{err}");
+    }
+
+    #[test]
+    fn invariants_catch_misplaced_tag() {
+        let mut c = tiny();
+        c.fill(0, FillKind::Demand, false);
+        // Corrupt: block 1 indexes to set 1 but sits in set 0.
+        c.tags[0] = 1;
+        let err = c.check_invariants().unwrap_err();
+        assert!(err.contains("indexes to set"), "{err}");
+    }
+
+    #[test]
+    fn invariants_catch_rrpv_overflow() {
+        let mut c = tiny_srrip();
+        c.fill(0, FillKind::Demand, false);
+        c.rrpvs[0] = 4;
+        let err = c.check_invariants().unwrap_err();
+        assert!(err.contains("rrpv"), "{err}");
+    }
+
+    #[test]
+    fn invariants_catch_future_stamp() {
+        let mut c = tiny();
+        c.fill(0, FillKind::Demand, false);
+        c.stamps[0] = c.clock + 10;
+        let err = c.check_invariants().unwrap_err();
+        assert!(err.contains("ahead of cache clock"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Opt-in runtime invariant checking for the simulator.
+//!
+//! Long sweeps can silently corrupt results if an internal structure drifts
+//! out of its documented invariants (a duplicated cache tag, an MSHR heap
+//! node lost, a prefetch-queue mirror desynchronised). The checker validates
+//! the cache / MSHR / prefetch-queue invariants every N cycles and, on a
+//! violation, dumps a diagnostic snapshot and panics — turning silent
+//! corruption into a loud, attributable failure that the sweep harness
+//! isolates to one job.
+//!
+//! Control via `PPF_CHECK_INVARIANTS`:
+//!
+//! | value                      | behaviour                                |
+//! |----------------------------|------------------------------------------|
+//! | unset                      | every 50 000 cycles in debug builds, off in release |
+//! | `0`, `off`, `false`, `no`  | disabled                                 |
+//! | `1`, `on`, `true`, `yes`   | enabled at the default period            |
+//! | `<N>` (positive integer)   | enabled, checked every `N` cycles        |
+//!
+//! The period is sampled once per [`crate::Simulation`] at construction, so
+//! mid-run environment changes do not perturb a simulation.
+
+/// Default check period (cycles) when the checker is enabled without an
+/// explicit period. Coarse enough to be invisible in release sweeps, fine
+/// enough to localise a corruption to a ~50k-cycle window.
+pub const DEFAULT_PERIOD: u64 = 50_000;
+
+/// Resolves the invariant-check period from `PPF_CHECK_INVARIANTS`.
+///
+/// Returns the cycle period between checks, or `0` for disabled.
+pub fn period() -> u64 {
+    let raw = std::env::var("PPF_CHECK_INVARIANTS").ok();
+    parse(raw.as_deref())
+}
+
+/// Pure parser behind [`period`]; `raw` is the variable's value, `None` when
+/// unset. Malformed values fall back to the default period (checking too
+/// often is recoverable; silently disabling a requested check is not) after
+/// a warning on stderr.
+fn parse(raw: Option<&str>) -> u64 {
+    let Some(raw) = raw else {
+        return if cfg!(debug_assertions) { DEFAULT_PERIOD } else { 0 };
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "0" | "off" | "false" | "no" => 0,
+        "" | "1" | "on" | "true" | "yes" => DEFAULT_PERIOD,
+        s => match s.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!(
+                    "warning: PPF_CHECK_INVARIANTS={raw:?} is not a period; \
+                     checking every {DEFAULT_PERIOD} cycles"
+                );
+                DEFAULT_PERIOD
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_follows_build_profile() {
+        let expect = if cfg!(debug_assertions) { DEFAULT_PERIOD } else { 0 };
+        assert_eq!(parse(None), expect);
+    }
+
+    #[test]
+    fn explicit_off_values_disable() {
+        for v in ["0", "off", "false", "no", " OFF ", "False"] {
+            assert_eq!(parse(Some(v)), 0, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn explicit_on_values_use_default_period() {
+        for v in ["1", "on", "true", "yes", "", "ON"] {
+            assert_eq!(parse(Some(v)), DEFAULT_PERIOD, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn numeric_values_set_the_period() {
+        assert_eq!(parse(Some("10000")), 10_000);
+        assert_eq!(parse(Some(" 7 ")), 7);
+    }
+
+    #[test]
+    fn malformed_values_fall_back_to_default() {
+        for v in ["every-so-often", "-3", "1e6", "10k"] {
+            assert_eq!(parse(Some(v)), DEFAULT_PERIOD, "{v:?}");
+        }
+    }
+}

@@ -38,6 +38,7 @@ pub mod cache;
 pub mod config;
 pub mod dram;
 pub mod fxhash;
+pub mod invariants;
 pub mod mshr;
 pub mod prefetcher;
 pub mod rob;

@@ -208,6 +208,41 @@ impl MshrFile {
             })
             .collect()
     }
+
+    /// Validates the file's structural invariants, returning a description
+    /// of the first violation found:
+    ///
+    /// - the number of live entries never exceeds the configured capacity,
+    /// - `next_ready` is a lower bound on every live completion time (it may
+    ///   run early after a promote-then-drain, never late — late would make
+    ///   [`MshrFile::drain_ready`] skip due fills),
+    /// - every live entry has a heap node carrying its exact `ready_at`
+    ///   (otherwise its fill would never be delivered).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.entries.len() > self.capacity {
+            return Err(format!(
+                "{} entries exceed capacity {}",
+                self.entries.len(),
+                self.capacity
+            ));
+        }
+        for (&block, e) in &self.entries {
+            if e.ready_at < self.next_ready {
+                return Err(format!(
+                    "block {block:#x} ready at {} but next_ready {} is later \
+                     (drain would skip it)",
+                    e.ready_at, self.next_ready
+                ));
+            }
+            if !self.ready_heap.iter().any(|&Reverse((t, b))| b == block && t == e.ready_at) {
+                return Err(format!(
+                    "block {block:#x} (ready at {}) has no matching heap node",
+                    e.ready_at
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -283,5 +318,52 @@ mod tests {
         assert_eq!(m.get(5).unwrap().ready_at, 100);
         // Missing block is a no-op.
         m.promote(42, 80, 0);
+    }
+
+    #[test]
+    fn invariants_hold_through_allocate_promote_drain() {
+        let mut m = MshrFile::new(4);
+        m.allocate(1, 50, MissOrigin::Demand, false, 0);
+        m.allocate(2, 500, MissOrigin::Prefetch, false, 0);
+        m.allocate(3, 80, MissOrigin::Demand, true, 1);
+        m.check_invariants().expect("after allocation");
+        m.promote(2, 300, 60);
+        m.check_invariants().expect("after promote (stale node in heap)");
+        m.drain_ready(100);
+        m.check_invariants().expect("after drain");
+        m.drain_ready(10_000);
+        assert!(m.is_empty());
+        m.check_invariants().expect("when empty");
+    }
+
+    #[test]
+    fn invariants_catch_overfull_file() {
+        let mut m = MshrFile::new(1);
+        m.allocate(1, 10, MissOrigin::Demand, false, 0);
+        // Corrupt: bypass allocate's capacity check.
+        m.capacity = 0;
+        let err = m.check_invariants().unwrap_err();
+        assert!(err.contains("exceed capacity"), "{err}");
+    }
+
+    #[test]
+    fn invariants_catch_late_next_ready() {
+        let mut m = MshrFile::new(2);
+        m.allocate(1, 10, MissOrigin::Demand, false, 0);
+        // Corrupt: a late lower bound would make drain_ready skip the fill.
+        m.next_ready = 20;
+        let err = m.check_invariants().unwrap_err();
+        assert!(err.contains("next_ready"), "{err}");
+    }
+
+    #[test]
+    fn invariants_catch_missing_heap_node() {
+        let mut m = MshrFile::new(2);
+        m.allocate(1, 10, MissOrigin::Demand, false, 0);
+        // Corrupt: drop the readiness index; the entry can never drain.
+        // (next_ready keeps its valid lower bound so only this check trips.)
+        m.ready_heap.clear();
+        let err = m.check_invariants().unwrap_err();
+        assert!(err.contains("no matching heap node"), "{err}");
     }
 }

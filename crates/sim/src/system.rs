@@ -101,6 +101,9 @@ pub struct Simulation {
     credits: Vec<(usize, u64)>,
     /// Deferred LLC-eviction notifications (unused prefetched victims).
     llc_evictions: Vec<EvictionInfo>,
+    /// Cycles between invariant checks; `0` disables them (see
+    /// [`crate::invariants`]). Sampled once at construction.
+    invariant_period: u64,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -127,6 +130,7 @@ impl Simulation {
             cycle: 0,
             credits: Vec::new(),
             llc_evictions: Vec::new(),
+            invariant_period: crate::invariants::period(),
         }
     }
 
@@ -279,6 +283,76 @@ impl Simulation {
             self.retire_and_dispatch(i, cycle, warmup, measure);
             self.issue_prefetches(i, cycle);
         }
+
+        if self.invariant_period != 0 && cycle.is_multiple_of(self.invariant_period) {
+            self.enforce_invariants();
+        }
+    }
+
+    /// Validates every simulated structure's invariants, returning a
+    /// description of the first violation: the shared LLC and its MSHR file,
+    /// and per core the L1D, L2, L2 MSHR file, and prefetch queue (bounded
+    /// by the configured size, exactly mirrored by its dedup set).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.llc.check_invariants().map_err(|e| format!("llc: {e}"))?;
+        self.llc_mshr.check_invariants().map_err(|e| format!("llc mshr: {e}"))?;
+        for (i, core) in self.cores.iter().enumerate() {
+            core.l1d.check_invariants().map_err(|e| format!("core {i} l1d: {e}"))?;
+            core.l2.check_invariants().map_err(|e| format!("core {i} l2: {e}"))?;
+            core.l2_mshr.check_invariants().map_err(|e| format!("core {i} l2 mshr: {e}"))?;
+            if core.pq.len() > self.cfg.prefetch.queue_size {
+                return Err(format!(
+                    "core {i} prefetch queue holds {} entries, limit {}",
+                    core.pq.len(),
+                    self.cfg.prefetch.queue_size
+                ));
+            }
+            if core.pq.len() != core.pq_set.len() {
+                return Err(format!(
+                    "core {i} prefetch queue ({}) and dedup set ({}) diverged",
+                    core.pq.len(),
+                    core.pq_set.len()
+                ));
+            }
+            if let Some(req) = core.pq.iter().find(|r| !core.pq_set.contains(r)) {
+                return Err(format!(
+                    "core {i} queued prefetch of block {:#x} missing from dedup set",
+                    req.block()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs [`Simulation::check_invariants`] and, on a violation, dumps a
+    /// diagnostic snapshot to stderr and panics. The panic is caught by the
+    /// sweep harness's per-job isolation, so one corrupted simulation fails
+    /// loudly without taking down the rest of a sweep.
+    fn enforce_invariants(&self) {
+        let Err(violation) = self.check_invariants() else { return };
+        eprintln!("=== simulator invariant violation at cycle {} ===", self.cycle);
+        eprintln!("  violation: {violation}");
+        eprintln!(
+            "  llc: occupancy {}/{} | llc mshr: {} in flight | dram reads {} writes {}",
+            self.llc.occupancy(),
+            self.llc.sets() * self.llc.ways(),
+            self.llc_mshr.len(),
+            self.dram.stats.reads,
+            self.dram.stats.writes,
+        );
+        for (i, c) in self.cores.iter().enumerate() {
+            eprintln!(
+                "  core {i} ({}): retired {} | l2 mshr {} in flight | pq {} (set {}) \
+                 | demand outstanding {}",
+                c.workload,
+                c.retired,
+                c.l2_mshr.len(),
+                c.pq.len(),
+                c.pq_set.len(),
+                c.demand_outstanding,
+            );
+        }
+        panic!("simulator invariant violated at cycle {}: {violation}", self.cycle);
     }
 
     /// Completes ready L2 misses for core `i`: fills L2 (and L1 for
@@ -992,6 +1066,43 @@ mod tests {
         let c = &r.cores[0];
         assert!(c.load_miss_waits > 0);
         assert!(c.avg_load_miss_wait() > 20.0, "MLP cannot exceed the MSHR bound");
+    }
+
+    #[test]
+    fn invariants_hold_after_prefetching_run() {
+        let trace = Box::new(SequentialStream::new(0x100_0000, 1 << 14, 0x400000, 2));
+        let mut sim = Simulation::new(small_cfg());
+        sim.add_core("seq", trace, Box::new(StreamAhead));
+        sim.run(5_000, 30_000);
+        sim.check_invariants().expect("a clean run ends with consistent structures");
+    }
+
+    #[test]
+    fn invariants_catch_prefetch_queue_desync() {
+        let trace = Box::new(SequentialStream::new(0x100_0000, 1 << 14, 0x400000, 2));
+        let mut sim = Simulation::new(small_cfg());
+        sim.add_core("seq", trace, Box::new(NoPrefetcher));
+        // Corrupt: queue an entry without mirroring it into the dedup set.
+        sim.cores[0]
+            .pq
+            .push_back(PrefetchRequest::new(0x100_0000, FillLevel::L2));
+        let err = sim.check_invariants().unwrap_err();
+        assert!(err.contains("diverged"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "simulator invariant violated")]
+    fn periodic_enforcement_panics_on_corruption() {
+        let trace = Box::new(SequentialStream::new(0x100_0000, 1 << 14, 0x400000, 2));
+        let mut sim = Simulation::new(small_cfg());
+        sim.add_core("seq", trace, Box::new(NoPrefetcher));
+        sim.invariant_period = 1_000; // force checking regardless of env/profile
+        // Corrupt: an orphaned dedup-set entry persists (unlike a queued
+        // request, which issue_prefetches would pop before the first check).
+        sim.cores[0]
+            .pq_set
+            .insert(PrefetchRequest::new(0x100_0000, FillLevel::L2));
+        sim.run(5_000, 30_000);
     }
 
     #[test]

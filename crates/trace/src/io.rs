@@ -21,11 +21,98 @@
 use crate::pattern::AccessPattern;
 use crate::record::{AccessKind, TraceRecord};
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
 const MAGIC: [u8; 8] = *b"PPFT\x01\0\0\0";
 const RECORD_BYTES: usize = 19;
+
+/// Why a trace failed to load.
+///
+/// Every malformed input maps to a structured variant instead of a panic, so
+/// a corrupted trace fails one sweep job with a diagnosable message rather
+/// than aborting the process.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The underlying read failed.
+    Io(io::Error),
+    /// The file ended inside the 8-byte header.
+    TruncatedHeader {
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The header is present but is not the PPFT v1 magic.
+    BadMagic {
+        /// The 8 bytes found in place of the magic.
+        found: [u8; 8],
+    },
+    /// The file ended inside a record.
+    TruncatedRecord {
+        /// Zero-based index of the cut-off record.
+        record: usize,
+        /// Bytes of it actually present.
+        got: usize,
+    },
+    /// A complete record violates the format.
+    MalformedRecord {
+        /// Zero-based index of the offending record.
+        record: usize,
+        /// What is wrong with it.
+        what: &'static str,
+    },
+    /// The trace holds no records (replay needs at least one).
+    Empty,
+    /// A CSV trace failed to parse.
+    Csv {
+        /// One-based line number of the offending line.
+        line: usize,
+        /// What is wrong with it.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::TruncatedHeader { got } => {
+                write!(f, "truncated header: {got} of {} bytes", MAGIC.len())
+            }
+            Self::BadMagic { found } => {
+                write!(f, "not a PPFT v1 trace (found {found:02x?})")
+            }
+            Self::TruncatedRecord { record, got } => {
+                write!(f, "record {record} truncated: {got} of {RECORD_BYTES} bytes")
+            }
+            Self::MalformedRecord { record, what } => write!(f, "record {record}: {what}"),
+            Self::Empty => write!(f, "empty trace"),
+            Self::Csv { line, what } => write!(f, "line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Little-endian `u64` from the first 8 bytes of `b` (callers pass slices
+/// whose length the record framing already guarantees).
+fn le_u64(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    u64::from_le_bytes(a)
+}
 
 /// Writes `count` records from `source` to `path`.
 ///
@@ -70,30 +157,58 @@ impl TraceFile {
     ///
     /// # Errors
     ///
-    /// Fails on I/O errors, a bad magic header, or a truncated record.
-    pub fn open(path: &Path) -> io::Result<Self> {
-        let mut r = BufReader::new(File::open(path)?);
-        let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
-        if magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a PPFT v1 trace"));
+    /// Fails on I/O errors or any format violation — see [`TraceError`] for
+    /// the classification. Never panics on malformed input.
+    pub fn open(path: &Path) -> Result<Self, TraceError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Parses a PPFT v1 trace from an in-memory byte buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same classification as [`TraceFile::open`] (minus I/O). The old
+    /// loader silently dropped a trailing partial record; that is now a
+    /// [`TraceError::TruncatedRecord`], since a cut-off trace usually means
+    /// a cut-off producer and the missing tail would skew results silently.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceError> {
+        if bytes.len() < MAGIC.len() {
+            return Err(TraceError::TruncatedHeader { got: bytes.len() });
         }
-        let mut records = Vec::new();
-        let mut buf = [0u8; RECORD_BYTES];
-        loop {
-            match r.read_exact(&mut buf) {
-                Ok(()) => {}
-                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
-                Err(e) => return Err(e),
+        let (header, body) = bytes.split_at(MAGIC.len());
+        if header != MAGIC {
+            let mut found = [0u8; 8];
+            found.copy_from_slice(header);
+            return Err(TraceError::BadMagic { found });
+        }
+        let mut records = Vec::with_capacity(body.len() / RECORD_BYTES);
+        let mut chunks = body.chunks_exact(RECORD_BYTES);
+        for (record, buf) in chunks.by_ref().enumerate() {
+            let flags = buf[16];
+            if flags & !0b11 != 0 {
+                return Err(TraceError::MalformedRecord { record, what: "undefined flag bits" });
             }
-            let pc = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
-            let addr = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
-            let kind = if buf[16] & 1 == 1 { AccessKind::Store } else { AccessKind::Load };
-            let dependent = buf[16] & 2 == 2;
-            records.push(TraceRecord { pc, addr, kind, work: buf[17], dependent });
+            if buf[18] != 0 {
+                return Err(TraceError::MalformedRecord {
+                    record,
+                    what: "nonzero reserved byte",
+                });
+            }
+            let kind = if flags & 1 == 1 { AccessKind::Store } else { AccessKind::Load };
+            records.push(TraceRecord {
+                pc: le_u64(&buf[0..8]),
+                addr: le_u64(&buf[8..16]),
+                kind,
+                work: buf[17],
+                dependent: flags & 2 == 2,
+            });
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            return Err(TraceError::TruncatedRecord { record: records.len(), got: tail.len() });
         }
         if records.is_empty() {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "empty trace"));
+            return Err(TraceError::Empty);
         }
         Ok(Self { records, cursor: 0, wrapped: false })
     }
@@ -160,14 +275,13 @@ pub fn record_trace_csv<P: AccessPattern + ?Sized>(
 ///
 /// # Errors
 ///
-/// Fails on I/O errors, a missing header, or malformed fields (the error
-/// message names the offending line).
-pub fn load_trace_csv(path: &Path) -> io::Result<TraceFile> {
+/// Fails on I/O errors, a missing header, or malformed fields
+/// ([`TraceError::Csv`] names the offending line). Never panics on
+/// malformed input.
+pub fn load_trace_csv(path: &Path) -> Result<TraceFile, TraceError> {
     let text = std::fs::read_to_string(path)?;
     let mut lines = text.lines();
-    let bad = |line: usize, what: &str| {
-        io::Error::new(io::ErrorKind::InvalidData, format!("line {line}: {what}"))
-    };
+    let bad = |line: usize, what: &'static str| TraceError::Csv { line, what };
     match lines.next() {
         Some(h) if h.trim() == "pc,addr,kind,work,dependent" => {}
         _ => return Err(bad(1, "missing CSV header")),
@@ -207,7 +321,7 @@ pub fn load_trace_csv(path: &Path) -> io::Result<TraceFile> {
         records.push(TraceRecord { pc, addr, kind, work, dependent });
     }
     if records.is_empty() {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty trace"));
+        return Err(TraceError::Empty);
     }
     Ok(TraceFile { records, cursor: 0, wrapped: false })
 }

@@ -39,7 +39,7 @@ pub mod record;
 pub mod validation;
 pub mod workload;
 
-pub use io::{load_trace_csv, record_trace, record_trace_csv, TraceFile};
+pub use io::{load_trace_csv, record_trace, record_trace_csv, TraceError, TraceFile};
 pub use mix::{MixGenerator, WorkloadMix};
 pub use pattern::{
     AccessPattern, GupsRandom, HotRegionRandom, Interleave, PhaseAlternate, PointerChase,

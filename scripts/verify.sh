@@ -1,14 +1,45 @@
 #!/usr/bin/env sh
 # Tier-1 verification gate: release build + clippy (deny warnings) + full
-# test suite.
+# test suite + fault-tolerance drill.
 #
-#   scripts/verify.sh           # build + clippy + tests
+#   scripts/verify.sh           # build + clippy + tests + fault drill
 #   scripts/verify.sh --quick   # ... + fig09 smoke run with throughput
 #   scripts/verify.sh --bench   # ... + hot-path micro-benchmarks and the
 #                               #       throughput comparison table
+#   scripts/verify.sh --faults  # fault drill only (assumes a release build)
 set -eu
 
 cd "$(dirname "$0")/.."
+
+mode="${1:-}"
+
+# Fault drill: targeted fault-injection tests, then a real sweep binary with
+# one job deliberately panicked via PPF_FAULT_INJECT. The sweep must still
+# exit 0, report the injected failure on stderr, and produce its table.
+run_fault_drill() {
+    echo "== fault-injection tests =="
+    cargo test -q -p ppf-bench --test fault_tolerance
+    cargo test -q -p ppf-trace --test fault_injection
+
+    echo "== injected-panic sweep drill (fig09 --quick) =="
+    drill_dir="$(mktemp -d)"
+    drill_err="$drill_dir/stderr"
+    PPF_FAULT_INJECT="panic:SPP" PPF_CHECKPOINT_DIR="$drill_dir" \
+        ./target/release/fig09_single_core --quick >/dev/null 2>"$drill_err" \
+        || { echo "fault drill: sweep aborted instead of isolating the panic"; \
+             cat "$drill_err"; rm -rf "$drill_dir"; exit 1; }
+    grep -q "FAILED" "$drill_err" \
+        || { echo "fault drill: injected failure was not reported"; \
+             cat "$drill_err"; rm -rf "$drill_dir"; exit 1; }
+    rm -rf "$drill_dir"
+    echo "fault drill: OK (sweep completed, failure reported by label)"
+}
+
+if [ "$mode" = "--faults" ]; then
+    run_fault_drill
+    echo "verify: OK"
+    exit 0
+fi
 
 echo "== cargo build --release =="
 cargo build --release
@@ -19,7 +50,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
-mode="${1:-}"
+run_fault_drill
 
 if [ "$mode" = "--quick" ] || [ "$mode" = "--bench" ]; then
     echo "== fig09 smoke run (--quick) =="

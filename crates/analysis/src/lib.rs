@@ -7,6 +7,8 @@
 //!   Pearson correlation against prefetch outcomes, plus the cross-
 //!   correlation pruning of redundant features,
 //! * [`histogram`] — trained-weight distributions (Figure 6),
+//! * [`interval`] — interval-telemetry JSONL ingestion: parse, schema
+//!   validation, per-interval differencing, and phase tables,
 //! * [`render`] — aligned tables, bar charts and sorted-series plots used by
 //!   the experiment binaries to print paper-style figures in a terminal.
 //!
@@ -19,11 +21,15 @@
 #![warn(missing_debug_implementations)]
 
 pub mod histogram;
+pub mod interval;
 pub mod pearson;
 pub mod render;
 pub mod stats;
 
 pub use histogram::WeightHistogram;
+pub use interval::{
+    interval_deltas, parse_jsonl, render_intervals, IntervalDelta, IntervalRecord,
+};
 pub use pearson::{
     cross_correlation_matrix, feature_correlations, pearson as pearson_r, redundant_pairs,
     FeatureCorrelation,

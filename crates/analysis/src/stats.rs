@@ -143,6 +143,26 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "core count mismatch")]
+    fn weighted_speedup_rejects_short_baseline() {
+        // Without the explicit length assert, `zip` would silently truncate
+        // the baseline sum and mis-normalize instead of panicking.
+        weighted_speedup(&[1.0, 1.0], &[1.0], &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count mismatch")]
+    fn weighted_speedup_rejects_long_baseline() {
+        weighted_speedup(&[1.0, 1.0], &[1.0, 1.0, 1.0], &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count mismatch")]
+    fn weighted_speedup_rejects_isolated_mismatch() {
+        weighted_speedup(&[1.0, 1.0], &[1.0, 1.0], &[1.0]);
+    }
+
+    #[test]
     fn bootstrap_ci_brackets_point_and_is_deterministic() {
         let xs = [1.0, 1.1, 1.2, 0.9, 1.05, 1.3, 1.15, 0.95];
         let a = geomean_bootstrap_ci(&xs, 500, 7);

@@ -37,9 +37,9 @@ fn main() {
             c.ipc(),
             c.prefetch.emitted,
             c.prefetch.issued,
-            c.prefetch.useful
+            c.prefetch.useful_total()
         );
-        rows.push((depth, r.ipc(), c.prefetch.emitted, c.prefetch.useful));
+        rows.push((depth, r.ipc(), c.prefetch.emitted, c.prefetch.useful_total()));
     }
     let base = rows[0];
     let _ = Scheme::Baseline; // scheme enum is unused here by design

@@ -105,8 +105,8 @@ fn main() {
                     ppf_h.borrow().stats.average_accepted_depth(),
                     ppf_r.cores[0].prefetch.issued as f64
                         / spp_r.cores[0].prefetch.issued.max(1) as f64,
-                    ppf_r.cores[0].prefetch.useful as f64
-                        / spp_r.cores[0].prefetch.useful.max(1) as f64,
+                    ppf_r.cores[0].prefetch.useful_total() as f64
+                        / spp_r.cores[0].prefetch.useful_total().max(1) as f64,
                 );
             }
         }

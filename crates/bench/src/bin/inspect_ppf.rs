@@ -51,5 +51,5 @@ fn main() {
     let c = &r.cores[0];
     println!("ipc={:.3} l2miss={} llcmiss={} pf[em={} iss={} useful={} redundant={} q={}]",
         c.ipc(), c.l2.demand_misses(), r.llc.demand_misses(),
-        c.prefetch.emitted, c.prefetch.issued, c.prefetch.useful, c.prefetch.dropped_redundant, c.prefetch.dropped_queue);
+        c.prefetch.emitted, c.prefetch.issued, c.prefetch.useful_total(), c.prefetch.dropped_redundant, c.prefetch.dropped_queue);
 }

@@ -235,7 +235,7 @@ fn run() -> Result<(), String> {
             c.l1d.demand_misses() as f64 * 1000.0 / c.instructions as f64,
             c.l2_mpki(),
             c.prefetch.issued,
-            c.prefetch.useful,
+            c.prefetch.useful_total(),
             100.0 * c.prefetch.accuracy(),
             c.avg_load_miss_wait(),
         );

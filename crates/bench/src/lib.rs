@@ -11,6 +11,7 @@
 
 pub mod runner;
 pub mod sweep;
+pub mod telemetry;
 pub mod throughput;
 
 use ppf::{Ppf, PpfConfig};
@@ -106,12 +107,17 @@ impl RunScale {
     }
 }
 
-/// Runs one workload on a single-core system under `scheme`.
+/// Runs one workload on a single-core system under `scheme`. When interval
+/// telemetry is active (`PPF_TELEMETRY` + the `telemetry` feature), the
+/// run's snapshots are exported as `<workload>__<scheme>` JSONL/CSV under
+/// the telemetry directory (see [`telemetry::export_simulation`]).
 pub fn run_single(cfg: SystemConfig, workload: &Workload, scheme: Scheme, scale: RunScale) -> SimReport {
     let trace = Box::new(TraceBuilder::new(workload.clone()).seed(42).build());
     let mut sim = Simulation::new(cfg);
     sim.add_core(workload.name(), trace, scheme.build());
-    sim.run(scale.warmup, scale.measure)
+    let report = sim.run(scale.warmup, scale.measure);
+    telemetry::export_simulation(&format!("{}__{}", workload.name(), scheme.label()), &sim);
+    report
 }
 
 /// Runs a multi-programmed mix on an `n`-core system under `scheme`.
@@ -123,7 +129,9 @@ pub fn run_mix(mix: &WorkloadMix, scheme: Scheme, scale: RunScale) -> SimReport 
     }
     // Multi-core runs use a shorter region per core (the paper reduces the
     // 8-core runs for the same reason); contention still plays out fully.
-    sim.run(scale.warmup, scale.measure / 2)
+    let report = sim.run(scale.warmup, scale.measure / 2);
+    telemetry::export_simulation(&format!("{}__{}", mix.label(), scheme.label()), &sim);
+    report
 }
 
 /// IPC of `workload` running alone on a 1-core machine with the same LLC as
@@ -172,6 +180,14 @@ impl<P: Prefetcher> Prefetcher for Shared<P> {
 
     fn name(&self) -> &'static str {
         "shared"
+    }
+
+    fn filter_counters(&self) -> ppf_sim::FilterCounters {
+        self.0.borrow().filter_counters()
+    }
+
+    fn telemetry_dump(&self) -> String {
+        self.0.borrow().telemetry_dump()
     }
 }
 

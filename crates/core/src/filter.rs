@@ -2,6 +2,7 @@
 //! (paper Sec 3.1, Figure 5).
 
 use crate::features::{index_list, FeatureInputs, FeatureKind, IndexList};
+use crate::introspect::DecisionTelemetry;
 use crate::perceptron::Perceptron;
 use crate::tables::MetaTable;
 use ppf_sim::addr::block_number;
@@ -125,6 +126,7 @@ pub struct PpfFilter {
     reject_table: MetaTable,
     /// Counter block.
     pub stats: FilterStats,
+    telemetry: DecisionTelemetry,
     event_log: Vec<TrainingEvent>,
     event_cursor: usize,
 }
@@ -145,6 +147,7 @@ impl PpfFilter {
             prefetch_table: MetaTable::new(cfg.prefetch_table_entries),
             reject_table: MetaTable::new(cfg.reject_table_entries),
             stats: FilterStats::default(),
+            telemetry: DecisionTelemetry::from_env(),
             event_log: Vec::new(),
             event_cursor: 0,
             cfg,
@@ -170,6 +173,20 @@ impl PpfFilter {
     /// [`PpfConfig::event_log_capacity`] was set).
     pub fn training_events(&self) -> &[TrainingEvent] {
         &self.event_log
+    }
+
+    /// Borrow of the decision-telemetry block (contribution attribution,
+    /// threshold-margin histograms; see [`crate::introspect`]).
+    pub fn telemetry(&self) -> &DecisionTelemetry {
+        &self.telemetry
+    }
+
+    /// Enables or disables decision telemetry programmatically, overriding
+    /// the `PPF_TELEMETRY` resolution done at construction (tests use this
+    /// so they never race on process-global environment). Forced off when
+    /// the `telemetry` feature is not compiled in.
+    pub fn set_telemetry_enabled(&mut self, enabled: bool) {
+        self.telemetry.set_enabled(enabled);
     }
 
     /// Snapshots the trained weights (see [`Perceptron::save_weights`]).
@@ -219,6 +236,18 @@ impl PpfFilter {
             self.stats.rejected += 1;
             Decision::Reject
         };
+        // Double-gated: without the feature the cfg! folds the whole hook
+        // away; with it, a disabled block costs one branch.
+        if cfg!(feature = "telemetry") && self.telemetry.enabled() {
+            self.telemetry.record(
+                &self.perceptron,
+                &idxs,
+                sum,
+                decision,
+                self.cfg.tau_hi,
+                self.cfg.tau_lo,
+            );
+        }
         (decision, sum, idxs)
     }
 

@@ -36,6 +36,8 @@
 //!   candidates (for the Sec 5.5 selection methodology),
 //! * [`tables`] — the Prefetch and Reject metadata tables (Tables 2–3),
 //! * [`filter`] — inference, recording, and training ([`PpfFilter`]),
+//! * [`introspect`] — weight-saturation reports, decision-time contribution
+//!   attribution, and threshold-margin histograms (telemetry),
 //! * [`wrapper`] — [`Ppf`], the [`ppf_sim::Prefetcher`] adapter over any
 //!   [`ppf_prefetchers::LookaheadSource`],
 //! * [`budget`] — the hardware storage budget (39.34 KB, Table 3),
@@ -49,6 +51,7 @@
 pub mod budget;
 pub mod features;
 pub mod filter;
+pub mod introspect;
 pub mod perceptron;
 pub mod rosenblatt;
 pub mod tables;
@@ -57,6 +60,9 @@ pub mod wrapper;
 pub use budget::{adder_tree_depth, default_budget, StorageBudget};
 pub use features::{FeatureInputs, FeatureKind, IndexList, MAX_FEATURES};
 pub use filter::{Decision, FilterStats, PpfConfig, PpfFilter, TrainingEvent};
+pub use introspect::{
+    render_report, weight_saturation, DecisionTelemetry, SaturationRow, MARGIN_BUCKETS,
+};
 pub use perceptron::{Perceptron, WEIGHT_MAX, WEIGHT_MIN};
 pub use rosenblatt::{RosenblattConfig, RosenblattFilter, RosenblattStats};
 pub use tables::{MetaTable, TableEntry};

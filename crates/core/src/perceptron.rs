@@ -77,6 +77,14 @@ impl Perceptron {
         self.arena[self.bases[feature] as usize + (index & self.masks[feature] as usize)]
     }
 
+    /// Reads one weight by arena position (from [`Perceptron::globalize`]) —
+    /// the single-index form of [`Perceptron::sum_at`]'s gather, used by
+    /// decision-time telemetry to attribute each feature's contribution.
+    #[inline]
+    pub fn weight_at(&self, global: u32) -> i32 {
+        self.arena[global as usize]
+    }
+
     /// Maps per-feature local indices to arena positions: one add and one
     /// mask per feature, done once per candidate at inference time. The
     /// result is stored in the Prefetch/Reject tables so training reuses

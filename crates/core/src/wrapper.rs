@@ -11,7 +11,9 @@
 use crate::features::FeatureInputs;
 use crate::filter::{Decision, FilterStats, PpfConfig, PpfFilter};
 use ppf_prefetchers::{Candidate, LookaheadSource};
-use ppf_sim::{AccessContext, EvictionInfo, FillLevel, Prefetcher, PrefetchRequest};
+use ppf_sim::{
+    AccessContext, EvictionInfo, FillLevel, FilterCounters, Prefetcher, PrefetchRequest,
+};
 
 /// Depth buckets tracked by [`PpfStats`] (depths beyond clamp into the
 /// last bucket).
@@ -229,6 +231,24 @@ impl<S: LookaheadSource> Prefetcher for Ppf<S> {
 
     fn name(&self) -> &'static str {
         "ppf"
+    }
+
+    fn filter_counters(&self) -> FilterCounters {
+        let s = self.filter.stats;
+        FilterCounters {
+            inferences: s.inferences,
+            accepted_l2: s.accepted_l2,
+            accepted_llc: s.accepted_llc,
+            rejected: s.rejected,
+            positive_trains: s.positive_trains,
+            negative_trains: s.negative_trains,
+            false_negative_recoveries: s.false_negative_recoveries,
+            replacement_trains: s.replacement_trains,
+        }
+    }
+
+    fn telemetry_dump(&self) -> String {
+        crate::introspect::render_report(&self.filter)
     }
 }
 

@@ -98,4 +98,26 @@ fn steady_state_filter_path_never_allocates() {
     // Sanity: the filter actually did work in the measured window.
     assert!(f.stats.inferences >= 150_000);
     assert!(f.stats.positive_trains + f.stats.negative_trains > 0);
+
+    // With decision telemetry recording (fixed-size contribution arrays and
+    // margin histograms), the hot path must still not allocate. Without the
+    // `telemetry` feature the enable is forced off, so this window also
+    // proves the disabled hook costs nothing.
+    f.set_telemetry_enabled(true);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 150_000..250_000 {
+        cycle(&mut f, i);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "telemetry-enabled filter path allocated {} time(s)",
+        after - before
+    );
+    #[cfg(feature = "telemetry")]
+    assert!(
+        f.telemetry().accepts() + f.telemetry().rejects() >= 100_000,
+        "telemetry should have recorded the measured window"
+    );
 }

@@ -614,6 +614,22 @@ mod tests {
     }
 
     #[test]
+    fn reset_zeroes_every_cache_counter() {
+        // Full struct literal on purpose — a new field fails to compile here
+        // until this test (and the warmup reset path) are revisited.
+        let mut s = CacheStats {
+            demand_accesses: 1,
+            demand_hits: 2,
+            demand_fills: 3,
+            prefetch_fills: 4,
+            useful_prefetches: 5,
+            useless_prefetches: 6,
+        };
+        s.reset();
+        assert_eq!(s, CacheStats::default());
+    }
+
+    #[test]
     fn accuracy_metric() {
         let mut s = CacheStats { useful_prefetches: 3, useless_prefetches: 1, ..Default::default() };
         assert!((s.prefetch_accuracy() - 0.75).abs() < 1e-12);

@@ -198,6 +198,21 @@ mod tests {
     }
 
     #[test]
+    fn reset_zeroes_every_dram_counter() {
+        // Full struct literal on purpose — a new field fails to compile here
+        // until this test (and the warmup reset path) are revisited.
+        let mut s = DramStats {
+            reads: 1,
+            writes: 2,
+            row_hits: 3,
+            row_misses: 4,
+            bus_busy_cycles: 5,
+        };
+        s.reset();
+        assert_eq!(s, DramStats::default());
+    }
+
+    #[test]
     fn first_access_is_row_miss() {
         let mut d = dram();
         let done = d.schedule_read(0, 0);

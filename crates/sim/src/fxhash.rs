@@ -12,6 +12,15 @@ use std::hash::{BuildHasherDefault, Hasher};
 /// Multiplicative mixing constant (high-entropy odd number, from FxHash).
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
+/// Width tags xor-ed into sub-word writes so that `write_u16(n)` and
+/// `write_u32(n)` do not collide with `write_u64(n as u64)`. Without them a
+/// 16/32-bit key hashes identically to its zero-extended u64 form, which
+/// weakens mixing for maps that key on short tags (only 16/32 low bits of
+/// the first mixed word would ever vary). The tags live in the high bits so
+/// they cannot collide with small values of wider writes either.
+const TAG_U16: u64 = 0x9e37_79b9_0000_0000;
+const TAG_U32: u64 = 0xc2b2_ae35_0000_0000;
+
 /// Fx-style hasher: rotate, xor, multiply per word.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FxHasher {
@@ -47,12 +56,12 @@ impl Hasher for FxHasher {
 
     #[inline]
     fn write_u16(&mut self, n: u16) {
-        self.add(u64::from(n));
+        self.add(u64::from(n) ^ TAG_U16);
     }
 
     #[inline]
     fn write_u32(&mut self, n: u32) {
-        self.add(u64::from(n));
+        self.add(u64::from(n) ^ TAG_U32);
     }
 
     #[inline]
@@ -72,12 +81,12 @@ impl Hasher for FxHasher {
 
     #[inline]
     fn write_i16(&mut self, n: i16) {
-        self.add(n as u16 as u64);
+        self.write_u16(n as u16);
     }
 
     #[inline]
     fn write_i32(&mut self, n: i32) {
-        self.add(n as u32 as u64);
+        self.write_u32(n as u32);
     }
 
     #[inline]
@@ -126,6 +135,55 @@ mod tests {
         let mut c = FxHasher::default();
         c.write(&[1, 2, 4]);
         assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn short_writes_diverge_from_zero_extended_u64() {
+        let h16 = |n: u16| {
+            let mut x = FxHasher::default();
+            x.write_u16(n);
+            x.finish()
+        };
+        let h32 = |n: u32| {
+            let mut x = FxHasher::default();
+            x.write_u32(n);
+            x.finish()
+        };
+        let h64 = |n: u64| {
+            let mut x = FxHasher::default();
+            x.write_u64(n);
+            x.finish()
+        };
+        for n in [0u64, 1, 42, 0xffff, 0x1234] {
+            assert_ne!(h16(n as u16), h64(n), "u16 {n} collides with u64");
+            assert_ne!(h32(n as u32), h64(n), "u32 {n} collides with u64");
+            assert_ne!(h16(n as u16), h32(n as u32), "u16 {n} collides with u32");
+        }
+    }
+
+    #[test]
+    fn short_write_bucket_distribution_is_flat() {
+        // Hash a dense range of 16-bit keys (the worst case the width tags
+        // address) into a power-of-two bucket table and check no bucket is
+        // pathologically loaded. Expected load is KEYS/BUCKETS = 64; a
+        // broken mix concentrates hundreds of keys in a few buckets.
+        const KEYS: u32 = 16 * 1024;
+        const BUCKETS: usize = 256;
+        let mut load = [0u32; BUCKETS];
+        for n in 0..KEYS {
+            let mut x = FxHasher::default();
+            x.write_u16(n as u16);
+            // High bits, like hashbrown's bucket selection.
+            load[(x.finish() >> (64 - 8)) as usize] += 1;
+        }
+        let expected = KEYS / BUCKETS as u32;
+        let max = *load.iter().max().unwrap();
+        let empty = load.iter().filter(|&&c| c == 0).count();
+        assert!(
+            max < expected * 4,
+            "worst bucket holds {max} keys (expected ~{expected})"
+        );
+        assert!(empty < BUCKETS / 8, "{empty} of {BUCKETS} buckets empty");
     }
 
     #[test]

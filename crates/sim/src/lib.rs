@@ -44,6 +44,7 @@ pub mod prefetcher;
 pub mod rob;
 pub mod stats;
 pub mod system;
+pub mod telemetry;
 
 pub use cache::{Cache, CacheStats, FillKind};
 pub use config::{CacheConfig, CoreConfig, DramConfig, PrefetchConfig, ReplacementPolicy, SystemConfig};
@@ -53,3 +54,7 @@ pub use prefetcher::{
 };
 pub use stats::{CoreReport, PrefetchStats, SimReport, IPC_SAMPLE_WINDOW};
 pub use system::{run_single_core, Simulation};
+pub use telemetry::{
+    EventKind, EventRing, FilterCounters, IntervalRing, IntervalSnapshot, TelemetryConfig,
+    TraceEvent,
+};

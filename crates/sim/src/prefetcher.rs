@@ -6,6 +6,7 @@
 //! when prefetched lines are used or evicted.
 
 use crate::addr;
+use crate::telemetry::FilterCounters;
 
 /// Where a prefetch fill is directed (paper: high-confidence prefetches go
 /// to L2, low-confidence ones to the larger LLC).
@@ -106,6 +107,21 @@ pub trait Prefetcher {
 
     /// Display name (used in result tables).
     fn name(&self) -> &'static str;
+
+    /// Current prefetch-filter counters, for telemetry snapshots. Filterless
+    /// prefetchers keep the default (all zeros); only read when telemetry is
+    /// enabled, so implementations may compute it rather than cache it.
+    fn filter_counters(&self) -> FilterCounters {
+        FilterCounters::default()
+    }
+
+    /// A human-readable introspection dump (weight saturation, margin
+    /// histograms, recent verdicts — whatever the scheme tracks), rendered
+    /// on demand for diagnostics. Only called on cold paths (invariant
+    /// violations, end-of-run reporting), so allocation is fine here.
+    fn telemetry_dump(&self) -> String {
+        String::new()
+    }
 }
 
 /// The no-prefetching baseline.
@@ -143,6 +159,14 @@ impl<P: Prefetcher + ?Sized> Prefetcher for Box<P> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn filter_counters(&self) -> FilterCounters {
+        (**self).filter_counters()
+    }
+
+    fn telemetry_dump(&self) -> String {
+        (**self).telemetry_dump()
     }
 }
 

@@ -16,10 +16,15 @@ pub struct PrefetchStats {
     pub dropped_mshr: u64,
     /// Dropped: prefetch queue overflow.
     pub dropped_queue: u64,
-    /// Prefetched blocks that received a demand hit (first use), including
-    /// late prefetches that a demand merged into while in flight.
+    /// Timely useful prefetches: blocks that were fully resident in a cache
+    /// before their first demand hit. Disjoint from [`late`](Self::late) —
+    /// a prefetch counts in exactly one of the two.
     pub useful: u64,
-    /// Demands that merged into an in-flight prefetch ("late" prefetches).
+    /// Late useful prefetches: demands that merged into an in-flight
+    /// prefetch. These still save most of the miss latency but are *not*
+    /// included in `useful` (they used to be counted in both, which inflated
+    /// [`accuracy`](Self::accuracy) above the paper's useful/issued
+    /// definition).
     pub late: u64,
     /// Total remaining cycles demands waited on in-flight prefetches.
     pub late_wait_cycles: u64,
@@ -35,12 +40,18 @@ impl PrefetchStats {
         self.late_wait_cycles as f64 / self.late as f64
     }
 
-    /// Accuracy as the paper defines it: useful / issued.
+    /// All useful prefetches, timely or late (each counted once).
+    pub fn useful_total(&self) -> u64 {
+        self.useful + self.late
+    }
+
+    /// Accuracy as the paper defines it: useful / issued, where a late
+    /// prefetch that a demand merged into still counts as useful (once).
     pub fn accuracy(&self) -> f64 {
         if self.issued == 0 {
             return 0.0;
         }
-        self.useful as f64 / self.issued as f64
+        self.useful_total() as f64 / self.issued as f64
     }
 
     /// Resets all counters.
@@ -141,6 +152,35 @@ mod tests {
         assert_eq!(s.accuracy(), 0.0);
         let s = PrefetchStats { issued: 10, useful: 7, ..Default::default() };
         assert!((s.accuracy() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_counts_each_late_prefetch_once() {
+        // `useful` (timely) and `late` are disjoint: a demand-merged
+        // in-flight prefetch increments `late` only. Accuracy therefore sums
+        // the two — 4 timely + 3 late out of 10 issued is 70%, not the 40%
+        // a timely-only reading would give nor an inflated double count.
+        let s = PrefetchStats { issued: 10, useful: 4, late: 3, ..Default::default() };
+        assert_eq!(s.useful_total(), 7);
+        assert!((s.accuracy() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroes_every_prefetch_counter() {
+        // Full struct literal on purpose — adding a field without updating
+        // this test (and checking the warmup reset path) fails to compile.
+        let mut s = PrefetchStats {
+            emitted: 1,
+            issued: 2,
+            dropped_redundant: 3,
+            dropped_mshr: 4,
+            dropped_queue: 5,
+            useful: 6,
+            late: 7,
+            late_wait_cycles: 8,
+        };
+        s.reset();
+        assert_eq!(s, PrefetchStats::default());
     }
 
     #[test]

@@ -24,6 +24,10 @@ use crate::mshr::{MissOrigin, MshrAlloc, MshrFile};
 use crate::prefetcher::{AccessContext, EvictionInfo, FillLevel, Prefetcher, PrefetchRequest};
 use crate::rob::{Rob, PENDING};
 use crate::stats::{CoreReport, PrefetchStats, SimReport, IPC_SAMPLE_WINDOW};
+use crate::telemetry::{
+    EventKind, EventRing, FilterCounters, IntervalRing, IntervalSnapshot, TelemetryConfig,
+    TraceEvent, DEFAULT_RING_CAPACITY, EVENT_RING_CAPACITY,
+};
 use ppf_trace::{AccessKind, AccessPattern, TraceRecord};
 use std::collections::VecDeque;
 
@@ -83,6 +87,9 @@ struct CoreUnit {
     snapshot: Option<CoreReport>,
     // Scratch buffer reused across triggers.
     scratch: Vec<PrefetchRequest>,
+    // Telemetry (inert single-slot ring unless telemetry is enabled).
+    intervals: IntervalRing,
+    interval_seq: u64,
 }
 
 /// A configured, runnable system.
@@ -104,6 +111,13 @@ pub struct Simulation {
     /// Cycles between invariant checks; `0` disables them (see
     /// [`crate::invariants`]). Sampled once at construction.
     invariant_period: u64,
+    /// Telemetry settings (see [`crate::telemetry`]). Sampled once at
+    /// construction from `PPF_TELEMETRY`; override with
+    /// [`Simulation::set_telemetry`] before attaching cores.
+    telemetry: TelemetryConfig,
+    /// Bounded trace of recent events (inert single-slot ring unless
+    /// telemetry is enabled).
+    events: EventRing,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -121,7 +135,7 @@ impl Simulation {
         let llc = Cache::new(&cfg.llc);
         let llc_mshr = MshrFile::new(cfg.llc.mshrs);
         let dram = Dram::new(&cfg.dram);
-        Self {
+        let mut sim = Self {
             cfg,
             cores: Vec::new(),
             llc,
@@ -131,7 +145,82 @@ impl Simulation {
             credits: Vec::new(),
             llc_evictions: Vec::new(),
             invariant_period: crate::invariants::period(),
+            telemetry: TelemetryConfig::from_env(),
+            events: EventRing::new(1),
+        };
+        sim.events = EventRing::new(sim.event_ring_capacity());
+        sim
+    }
+
+    /// Ring capacity for the current telemetry setting: full-size when
+    /// telemetry is live, a single inert slot otherwise (so disabled runs
+    /// pay no memory either).
+    fn event_ring_capacity(&self) -> usize {
+        if self.telemetry_active() {
+            EVENT_RING_CAPACITY
+        } else {
+            1
         }
+    }
+
+    /// True when telemetry hooks should record. With the `telemetry` feature
+    /// off, `cfg!` folds this to `false` and every hook body is eliminated.
+    #[inline(always)]
+    fn telemetry_active(&self) -> bool {
+        cfg!(feature = "telemetry") && self.telemetry.interval != 0
+    }
+
+    /// Overrides the `PPF_TELEMETRY`-derived settings (tests and harnesses
+    /// that must not race on process-global environment). Resizes the
+    /// snapshot/event rings, discarding anything already recorded, so call
+    /// it before [`Simulation::run`]. Ignored (forced off) when the
+    /// `telemetry` feature is not compiled in.
+    pub fn set_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.telemetry =
+            if cfg!(feature = "telemetry") { cfg } else { TelemetryConfig::disabled() };
+        self.events = EventRing::new(self.event_ring_capacity());
+        let cap = self.interval_ring_capacity();
+        for core in &mut self.cores {
+            core.intervals = IntervalRing::new(cap);
+            core.interval_seq = 0;
+        }
+    }
+
+    /// Snapshot-ring capacity matching the current telemetry setting.
+    fn interval_ring_capacity(&self) -> usize {
+        if self.telemetry_active() {
+            DEFAULT_RING_CAPACITY
+        } else {
+            1
+        }
+    }
+
+    /// The telemetry settings this simulation runs with.
+    pub fn telemetry(&self) -> TelemetryConfig {
+        self.telemetry
+    }
+
+    /// The interval-snapshot ring of core `i` (empty unless telemetry was
+    /// enabled during [`Simulation::run`]).
+    pub fn interval_snapshots(&self, i: usize) -> &IntervalRing {
+        &self.cores[i].intervals
+    }
+
+    /// All retained interval snapshots, ordered by `(core, seq)` — the
+    /// layout the JSONL exporter writes.
+    pub fn all_interval_snapshots(&self) -> Vec<IntervalSnapshot> {
+        self.cores.iter().flat_map(|c| c.intervals.iter().copied()).collect()
+    }
+
+    /// The event-trace ring (empty unless telemetry was enabled).
+    pub fn event_trace(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// Core `i`'s prefetcher introspection dump (empty for schemes that
+    /// track nothing).
+    pub fn prefetcher_dump(&self, i: usize) -> String {
+        self.cores[i].prefetcher.telemetry_dump()
     }
 
     /// Attaches a core running `trace` with `prefetcher` on its L2.
@@ -174,6 +263,8 @@ impl Simulation {
             measure_end_cycle: None,
             snapshot: None,
             scratch: Vec::new(),
+            intervals: IntervalRing::new(self.interval_ring_capacity()),
+            interval_seq: 0,
         });
     }
 
@@ -231,6 +322,7 @@ impl Simulation {
     fn tick(&mut self, warmup: u64, measure: u64) {
         self.cycle += 1;
         let cycle = self.cycle;
+        let telem = self.telemetry_active();
 
         // Shared LLC fills.
         let ready = self.llc_mshr.drain_ready(cycle);
@@ -240,6 +332,15 @@ impl Simulation {
             } else {
                 FillKind::Demand
             };
+            if telem && kind == FillKind::Prefetch {
+                self.events.record(TraceEvent {
+                    cycle,
+                    core: entry.owner as u32,
+                    kind: EventKind::Fill,
+                    block,
+                    payload: 1,
+                });
+            }
             if let Some(ev) = self.llc.fill(block, kind, entry.write) {
                 if ev.dirty {
                     self.dram.schedule_write(ev.block, cycle);
@@ -260,11 +361,12 @@ impl Simulation {
             }
         }
 
-        // Apply deferred useful-prefetch credits.
+        // Apply deferred useful-prefetch credits. These are late merges, so
+        // they count in `late` only (`useful` holds timely prefetches; the
+        // two are disjoint and summed by `useful_total`).
         let credits = std::mem::take(&mut self.credits);
         for (owner, byte_addr) in credits {
             let core = &mut self.cores[owner];
-            core.pf_stats.useful += 1;
             core.pf_stats.late += 1;
             core.prefetcher.on_useful_prefetch(byte_addr);
         }
@@ -273,6 +375,17 @@ impl Simulation {
         // prefetcher (filters match against their own tables).
         let evs = std::mem::take(&mut self.llc_evictions);
         for ev in evs {
+            if telem {
+                // The LLC does not track which core prefetched the victim,
+                // so the event is unattributed (core = u32::MAX).
+                self.events.record(TraceEvent {
+                    cycle,
+                    core: u32::MAX,
+                    kind: EventKind::EvictionTraining,
+                    block: addr::block_number(ev.addr),
+                    payload: 1,
+                });
+            }
             for core in &mut self.cores {
                 core.prefetcher.on_llc_eviction(&ev);
             }
@@ -352,6 +465,16 @@ impl Simulation {
                 c.demand_outstanding,
             );
         }
+        if self.telemetry_active() {
+            eprint!("{}", self.events.render());
+            for (i, c) in self.cores.iter().enumerate() {
+                let dump = c.prefetcher.telemetry_dump();
+                if !dump.is_empty() {
+                    eprintln!("  core {i} prefetcher introspection:");
+                    eprint!("{dump}");
+                }
+            }
+        }
         panic!("simulator invariant violated at cycle {}: {violation}", self.cycle);
     }
 
@@ -359,6 +482,7 @@ impl Simulation {
     /// demand-visible data), trains the prefetcher on evictions, wakes ROB
     /// waiters.
     fn drain_core_fills(&mut self, i: usize, cycle: u64) {
+        let telem = self.telemetry_active();
         let ready = self.cores[i].l2_mshr.drain_ready(cycle);
         for (block, entry) in ready {
             let core = &mut self.cores[i];
@@ -367,7 +491,25 @@ impl Simulation {
             } else {
                 FillKind::Demand
             };
+            if telem && kind == FillKind::Prefetch {
+                self.events.record(TraceEvent {
+                    cycle,
+                    core: i as u32,
+                    kind: EventKind::Fill,
+                    block,
+                    payload: 0,
+                });
+            }
             if let Some(ev) = core.l2.fill(block, kind, entry.write) {
+                if telem && ev.was_prefetch && !ev.was_used {
+                    self.events.record(TraceEvent {
+                        cycle,
+                        core: i as u32,
+                        kind: EventKind::EvictionTraining,
+                        block: ev.block,
+                        payload: 0,
+                    });
+                }
                 core.prefetcher.on_eviction(&EvictionInfo {
                     addr: ev.block << addr::BLOCK_BITS,
                     was_prefetch: ev.was_prefetch,
@@ -425,6 +567,12 @@ impl Simulation {
     fn retire_and_dispatch(&mut self, i: usize, cycle: u64, warmup: u64, measure: u64) {
         let retire_width = self.cfg.core.retire_width;
         let fetch_width = self.cfg.core.fetch_width;
+        // With the `telemetry` feature off this folds to 0 and the snapshot
+        // blocks below are dead code.
+        let telemetry_interval =
+            if self.telemetry_active() { self.telemetry.interval } else { 0 };
+        let llc_demand_misses =
+            if telemetry_interval != 0 { self.llc.stats.demand_misses() } else { 0 };
 
         let retired_now = self.cores[i].rob.retire(cycle, retire_width);
         {
@@ -443,6 +591,26 @@ impl Simulation {
                     core.ipc_samples.push(instr as f64 / cyc as f64);
                     core.last_sample = (core.retired, cycle);
                 }
+                if telemetry_interval != 0 && core.measure_end_cycle.is_none() {
+                    // Retirement is multi-wide, so a single retire call can
+                    // cross a boundary by a few instructions (or, for
+                    // pathological tiny intervals, several boundaries): one
+                    // snapshot is taken at the highest boundary crossed.
+                    let crossed = (core.retired - start_retired) / telemetry_interval;
+                    if crossed > core.interval_seq {
+                        core.intervals.push(IntervalSnapshot {
+                            core: i as u32,
+                            seq: crossed - 1,
+                            instructions: core.retired - start_retired,
+                            cycles: cycle - start_cycle,
+                            l2: core.l2.stats,
+                            llc_demand_misses,
+                            prefetch: core.pf_stats,
+                            filter: core.prefetcher.filter_counters(),
+                        });
+                        core.interval_seq = crossed;
+                    }
+                }
                 if core.measure_end_cycle.is_none()
                     && core.retired >= start_retired + measure
                 {
@@ -458,6 +626,23 @@ impl Simulation {
                         load_miss_wait_cycles: core.load_miss_wait_cycles,
                         ipc_samples: std::mem::take(&mut core.ipc_samples),
                     });
+                    if telemetry_interval != 0 {
+                        // Region-boundary snapshot, taken from the same
+                        // values as the CoreReport above so the final
+                        // interval's cumulative stats equal the end-of-run
+                        // report exactly.
+                        core.intervals.push(IntervalSnapshot {
+                            core: i as u32,
+                            seq: core.interval_seq,
+                            instructions: core.retired - start_retired,
+                            cycles: cycle - start_cycle,
+                            l2: core.l2.stats,
+                            llc_demand_misses,
+                            prefetch: core.pf_stats,
+                            filter: core.prefetcher.filter_counters(),
+                        });
+                        core.interval_seq += 1;
+                    }
                 }
             }
         }
@@ -529,6 +714,7 @@ impl Simulation {
     /// Uses a check-then-commit discipline so a [`Demand::Stall`] leaves no
     /// counter or state disturbed (the dispatch retries next cycle).
     fn start_demand(&mut self, i: usize, rec: &TraceRecord, cycle: u64) -> Demand {
+        let telem = self.telemetry_active();
         let cfg = &self.cfg;
         let block = addr::block_number(rec.addr);
         let is_store = rec.kind == AccessKind::Store;
@@ -575,6 +761,15 @@ impl Simulation {
         let core = &mut self.cores[i];
         core.l1d.demand_access(block, is_store);
         let out = l2_out.unwrap_or_else(|| core.l2.demand_access(block, is_store));
+        if telem && !out.hit {
+            self.events.record(TraceEvent {
+                cycle,
+                core: i as u32,
+                kind: EventKind::DemandMiss,
+                block,
+                payload: 0,
+            });
+        }
         if out.first_use_of_prefetch {
             core.pf_stats.useful += 1;
             core.prefetcher.on_useful_prefetch(block << addr::BLOCK_BITS);
@@ -587,9 +782,27 @@ impl Simulation {
             cycle,
             core: i,
         };
+        let counters_before = if telem {
+            core.prefetcher.filter_counters()
+        } else {
+            FilterCounters::default()
+        };
         let mut scratch = std::mem::take(&mut core.scratch);
         scratch.clear();
         core.prefetcher.on_demand_access(&ctx, &mut scratch);
+        if telem {
+            let d = core.prefetcher.filter_counters().delta(&counters_before);
+            if d.inferences > 0 {
+                self.events.record(TraceEvent {
+                    cycle,
+                    core: i as u32,
+                    kind: EventKind::PpfVerdict,
+                    block,
+                    payload: ((d.accepted_l2 + d.accepted_llc) << 32)
+                        | (d.rejected & 0xffff_ffff),
+                });
+            }
+        }
         core.pf_stats.emitted += scratch.len() as u64;
         for req in scratch.drain(..) {
             // Dedup at enqueue: resident or in-flight targets never reach
@@ -643,7 +856,6 @@ impl Simulation {
                         e.counted_demand = true;
                     }
                 }
-                core.pf_stats.useful += 1;
                 core.pf_stats.late += 1;
                 let remaining = core
                     .l2_mshr
@@ -748,6 +960,7 @@ impl Simulation {
     /// Issues up to the configured number of prefetches from core `i`'s
     /// queue.
     fn issue_prefetches(&mut self, i: usize, cycle: u64) {
+        let telem = self.telemetry_active();
         let mut budget = self.cfg.prefetch.issue_per_cycle;
         while budget > 0 {
             let Some(&req) = self.cores[i].pq.front() else { break };
@@ -786,6 +999,15 @@ impl Simulation {
                     let core = &mut self.cores[i];
                     core.l2_mshr.allocate(block, ready, MissOrigin::Prefetch, false, i);
                     core.pf_stats.issued += 1;
+                    if telem {
+                        self.events.record(TraceEvent {
+                            cycle,
+                            core: i as u32,
+                            kind: EventKind::PrefetchIssue,
+                            block,
+                            payload: 0,
+                        });
+                    }
                     core.pq.pop_front();
                     core.pq_set.remove(&req);
                     budget -= 1;
@@ -807,6 +1029,15 @@ impl Simulation {
                     let done = self.dram.schedule_prefetch_read(block, at);
                     self.llc_mshr.allocate(block, done, MissOrigin::Prefetch, false, i);
                     self.cores[i].pf_stats.issued += 1;
+                    if telem {
+                        self.events.record(TraceEvent {
+                            cycle,
+                            core: i as u32,
+                            kind: EventKind::PrefetchIssue,
+                            block,
+                            payload: 1,
+                        });
+                    }
                     self.cores[i].pq.pop_front();
                     self.cores[i].pq_set.remove(&req);
                     budget -= 1;
@@ -927,7 +1158,7 @@ mod tests {
             base.ipc()
         );
         assert!(pf.cores[0].prefetch.issued > 0);
-        assert!(pf.cores[0].prefetch.useful > 0);
+        assert!(pf.cores[0].prefetch.useful > 0, "40-ahead stream must be timely");
         // Coverage: fewer L2 demand misses than baseline.
         assert!(pf.cores[0].l2.demand_misses() < base.cores[0].l2.demand_misses());
     }
@@ -938,14 +1169,49 @@ mod tests {
         let r = run_single_core(small_cfg(), "seq", trace, Box::new(StreamAhead), 5_000, 40_000);
         let p = &r.cores[0].prefetch;
         assert!(p.emitted >= p.issued);
-        // `useful` may slightly exceed `issued` because prefetches issued
-        // during warmup (whose issue count was reset) turn useful afterwards.
+        // `useful_total` may slightly exceed `issued` because prefetches
+        // issued during warmup (whose issue count was reset) turn useful
+        // afterwards.
         assert!(
-            p.useful <= p.issued + p.issued / 4 + 200,
-            "useful {} wildly exceeds issued {}",
-            p.useful,
+            p.useful_total() <= p.issued + p.issued / 4 + 200,
+            "useful_total {} wildly exceeds issued {}",
+            p.useful_total(),
             p.issued
         );
+        // Timely and late are disjoint: each is at most the total.
+        assert!(p.useful <= p.useful_total() && p.late <= p.useful_total());
+    }
+
+    /// A stream prefetcher running only 2 blocks ahead — the demand stream
+    /// catches its fills while still in flight, so its useful prefetches are
+    /// overwhelmingly late merges.
+    struct StreamNear;
+    impl Prefetcher for StreamNear {
+        fn on_demand_access(&mut self, ctx: &AccessContext, out: &mut Vec<PrefetchRequest>) {
+            out.push(PrefetchRequest::new(ctx.addr + 2 * addr::BLOCK_SIZE, FillLevel::L2));
+        }
+        fn name(&self) -> &'static str {
+            "stream-near-test"
+        }
+    }
+
+    #[test]
+    fn late_merges_count_once_not_twice() {
+        let trace = Box::new(SequentialStream::new(0x100_0000, 1 << 15, 0x400000, 2));
+        let r = run_single_core(small_cfg(), "seq", trace, Box::new(StreamNear), 5_000, 40_000);
+        let p = &r.cores[0].prefetch;
+        assert!(p.late > 0, "2-ahead stream must produce late merges");
+        // A late merge lands in `late` only; `useful` holds timely fills,
+        // which a 2-block lookahead against memory latency rarely manages.
+        // Before the fix the merge sites bumped both counters, so `useful`
+        // was always >= `late` here.
+        assert!(
+            p.useful < p.late,
+            "timely useful {} should be rare next to late {}",
+            p.useful,
+            p.late
+        );
+        assert_eq!(p.useful_total(), p.useful + p.late);
     }
 
     #[test]
@@ -1009,9 +1275,9 @@ mod tests {
         assert!(c.prefetch.issued > 0, "LLC prefetches must issue");
         // The L2 never receives prefetch fills from an LLC-targeted stream.
         assert_eq!(c.l2.prefetch_fills, 0);
-        // The LLC-side prefetches still deliver data (either as prefetch
-        // fills or as late merges that demands wait on).
-        assert!(c.prefetch.useful > 0);
+        // The LLC-side prefetches still deliver data (either as timely
+        // prefetch fills or as late merges that demands wait on).
+        assert!(c.prefetch.useful_total() > 0);
     }
 
     #[test]
@@ -1112,5 +1378,46 @@ mod tests {
         let trace = Box::new(SequentialStream::new(0, 16, 0, 0));
         sim.add_core("only-one", trace, Box::new(NoPrefetcher));
         sim.run(10, 10);
+    }
+
+    /// The run always snapshots at the measurement boundary, so the last
+    /// snapshot is cumulative over the whole measured region and must agree
+    /// with the end-of-run report field for field.
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn final_interval_snapshot_matches_core_report() {
+        let trace = Box::new(SequentialStream::new(0x100_0000, 1 << 14, 0x400000, 2));
+        let mut sim = Simulation::new(small_cfg());
+        sim.add_core("seq", trace, Box::new(StreamAhead));
+        sim.set_telemetry(TelemetryConfig { interval: 7_000 });
+        let report = sim.run(5_000, 40_000);
+
+        let ring = sim.interval_snapshots(0);
+        // 40_000 / 7_000 interval boundaries plus the region boundary.
+        assert!(ring.len() >= 2, "expected several snapshots, got {}", ring.len());
+        let last = ring.last().expect("telemetry on, snapshots recorded");
+        let core = &report.cores[0];
+        assert_eq!(last.instructions, core.instructions);
+        assert_eq!(last.cycles, core.cycles);
+        assert_eq!(last.l2, core.l2);
+        assert_eq!(last.prefetch, core.prefetch);
+        // Sequence numbers count up from zero without gaps.
+        for (i, s) in sim.all_interval_snapshots().iter().enumerate() {
+            assert_eq!(s.seq, i as u64);
+            assert_eq!(s.core, 0);
+        }
+    }
+
+    #[test]
+    fn telemetry_off_records_nothing() {
+        let trace = Box::new(SequentialStream::new(0x100_0000, 1 << 14, 0x400000, 2));
+        let mut sim = Simulation::new(small_cfg());
+        sim.add_core("seq", trace, Box::new(StreamAhead));
+        // Explicitly disabled (not from_env) so the test cannot race with a
+        // PPF_TELEMETRY set in the environment.
+        sim.set_telemetry(TelemetryConfig::disabled());
+        sim.run(5_000, 40_000);
+        assert!(sim.all_interval_snapshots().is_empty());
+        assert!(sim.event_trace().is_empty());
     }
 }

@@ -2,11 +2,13 @@
 # Tier-1 verification gate: release build + clippy (deny warnings) + full
 # test suite + fault-tolerance drill.
 #
-#   scripts/verify.sh           # build + clippy + tests + fault drill
-#   scripts/verify.sh --quick   # ... + fig09 smoke run with throughput
-#   scripts/verify.sh --bench   # ... + hot-path micro-benchmarks and the
-#                               #       throughput comparison table
-#   scripts/verify.sh --faults  # fault drill only (assumes a release build)
+#   scripts/verify.sh             # build + clippy + tests + fault drill
+#                                 #   + telemetry gate
+#   scripts/verify.sh --quick     # ... + fig09 smoke run with throughput
+#   scripts/verify.sh --bench     # ... + hot-path micro-benchmarks and the
+#                                 #       throughput comparison table
+#   scripts/verify.sh --faults    # fault drill only (assumes a release build)
+#   scripts/verify.sh --telemetry # telemetry gate only
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -35,8 +37,36 @@ run_fault_drill() {
     echo "fault drill: OK (sweep completed, failure reported by label)"
 }
 
+# Telemetry gate: rebuild the bench crate with the telemetry feature, run
+# fig09 with PPF_TELEMETRY on, and schema-validate every JSONL export. Runs
+# last so the feature-enabled binaries don't feed the throughput smoke run.
+run_telemetry_gate() {
+    echo "== telemetry gate (fig09 --quick, PPF_TELEMETRY=1) =="
+    cargo build --release -q -p ppf-bench --features telemetry
+    telem_dir="$(mktemp -d)"
+    PPF_TELEMETRY=1 PPF_TELEMETRY_DIR="$telem_dir/exports" \
+        PPF_CHECKPOINT_DIR="$telem_dir/checkpoints" \
+        ./target/release/fig09_single_core --quick > /dev/null \
+        || { echo "telemetry gate: fig09 failed"; rm -rf "$telem_dir"; exit 1; }
+    set -- "$telem_dir"/exports/*.jsonl
+    [ -e "$1" ] \
+        || { echo "telemetry gate: fig09 emitted no JSONL"; \
+             rm -rf "$telem_dir"; exit 1; }
+    ./target/release/fig_telemetry --validate "$@" \
+        || { echo "telemetry gate: schema validation failed"; \
+             rm -rf "$telem_dir"; exit 1; }
+    rm -rf "$telem_dir"
+    echo "telemetry gate: OK (every export schema-valid)"
+}
+
 if [ "$mode" = "--faults" ]; then
     run_fault_drill
+    echo "verify: OK"
+    exit 0
+fi
+
+if [ "$mode" = "--telemetry" ]; then
+    run_telemetry_gate
     echo "verify: OK"
     exit 0
 fi
@@ -67,5 +97,7 @@ if [ "$mode" = "--bench" ]; then
     echo "== throughput comparison (last two records per experiment) =="
     ./scripts/bench_compare || true
 fi
+
+run_telemetry_gate
 
 echo "verify: OK"

@@ -155,7 +155,7 @@ mod tests {
     }
 
     fn event(weights: Vec<i8>, useful: bool) -> TrainingEvent {
-        TrainingEvent { weights, useful }
+        TrainingEvent { weights: weights.into_iter().collect(), useful }
     }
 
     #[test]

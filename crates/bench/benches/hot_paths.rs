@@ -8,7 +8,7 @@
 //! the indexed path the simulator wrapper actually drives.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use ppf::{FeatureInputs, PpfConfig, PpfFilter};
+use ppf::{FeatureInputs, IndexList, Perceptron, PpfConfig, PpfFilter};
 use ppf_sim::{Cache, CacheConfig, FillKind, ReplacementPolicy};
 
 fn inputs(i: u64) -> FeatureInputs {
@@ -48,6 +48,40 @@ fn bench_filter_fast_path(c: &mut Criterion) {
             black_box(d)
         });
     });
+    g.finish();
+}
+
+/// Batched SIMD scoring over the paper-sized weight arena at the depth
+/// windows that matter: 1 (degenerate/scalar-equivalent), 8 (the default
+/// `PPF_BATCH_WINDOW`), and 40 (SPP's max_candidates — a full lookahead
+/// burst in one call).
+fn bench_sum_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sum_batch");
+    // The paper's Table 3 perceptron block.
+    let mut p = Perceptron::new(&[4096, 4096, 4096, 4096, 2048, 2048, 1024, 1024, 128]);
+    for i in 0..5000usize {
+        let locals: Vec<usize> = (0..9).map(|f| i.wrapping_mul(f + 3)).collect();
+        p.train(&locals, i % 3 != 0);
+    }
+    let lists: Vec<IndexList> = (0..64u32)
+        .map(|c| {
+            p.globalize(
+                &(0..9)
+                    .map(|f| c.wrapping_mul(2654435761).wrapping_add(f * 40503))
+                    .collect::<IndexList>(),
+            )
+        })
+        .collect();
+    for n in [1usize, 8, 40] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("batch_{n}"), |b| {
+            let mut out = [0i32; 64];
+            b.iter(|| {
+                p.sum_batch(black_box(&lists[..n]), &mut out[..n]);
+                black_box(out[n - 1])
+            });
+        });
+    }
     g.finish();
 }
 
@@ -101,5 +135,5 @@ fn bench_cache_tag_scan(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_filter_fast_path, bench_cache_tag_scan);
+criterion_group!(benches, bench_filter_fast_path, bench_sum_batch, bench_cache_tag_scan);
 criterion_main!(benches);

@@ -1,18 +1,24 @@
-//! Compares the last two throughput records per experiment in
-//! `results/bench_throughput.json` and prints a regression/speedup table.
+//! Compares the last two throughput records per `(experiment, simulated
+//! instructions)` cell in `results/bench_throughput.json` and prints a
+//! regression/speedup table. Keying on the workload size keeps `--quick`
+//! smoke records and full-sweep records in separate trajectories — a 25
+//! M-instr cell is never diffed against a 120 M-instr one.
 //!
 //! The log is an array of one-object-per-line JSON records appended by
 //! [`ppf_bench::throughput`]; this tool parses it with the same
 //! line-oriented discipline (no JSON library), tolerating pre-v2 records
-//! that lack `git_rev`/`schema_version`.
+//! that lack `git_rev`/`schema_version` and pre-v3 records that lack
+//! `cpu`. A pair whose thread counts or host CPUs differ (or whose host
+//! is unrecorded) is printed but never gates: absolute instr/s across
+//! different hardware is not a regression signal.
 //!
 //! ```text
 //! cargo run --release -p ppf-bench --bin bench_compare [-- --fail-on-regression]
 //! ```
 //!
-//! With `--fail-on-regression` the exit status is nonzero if any
-//! experiment's newest record is more than 10% slower than the previous
-//! one — an opt-in CI gate (interactive use never fails the build).
+//! With `--fail-on-regression` the exit status is nonzero if any cell's
+//! newest record is more than 10% slower than the previous one — an opt-in
+//! CI gate (interactive use never fails the build).
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -27,6 +33,9 @@ const REGRESSION_GATE: f64 = 0.90;
 struct Record {
     experiment: String,
     git_rev: String,
+    /// Host CPU model; `None` for pre-v3 records. Pairs measured on
+    /// different (or unknown) hardware are compared but never gated.
+    cpu: Option<String>,
     threads: u64,
     simulated_instructions: u64,
     instr_per_second: f64,
@@ -60,12 +69,27 @@ fn parse_log(text: &str) -> Vec<Record> {
                 experiment: str_field(line, "experiment")?,
                 // Pre-v2 records carry no revision; keep them comparable.
                 git_rev: str_field(line, "git_rev").unwrap_or_else(|| "pre-v2".into()),
+                cpu: str_field(line, "cpu"),
                 threads: num_field(line, "threads")? as u64,
                 simulated_instructions: num_field(line, "simulated_instructions")? as u64,
                 instr_per_second: num_field(line, "instr_per_second")?,
             })
         })
         .collect()
+}
+
+/// Groups records in append (chronological) order per `(experiment,
+/// simulated_instructions)` cell: records at different workload sizes
+/// measure different work and must never share a comparison trajectory.
+fn group_cells(records: Vec<Record>) -> BTreeMap<(String, u64), Vec<Record>> {
+    let mut by_cell: BTreeMap<(String, u64), Vec<Record>> = BTreeMap::new();
+    for r in records {
+        by_cell
+            .entry((r.experiment.clone(), r.simulated_instructions))
+            .or_default()
+            .push(r);
+    }
+    by_cell
 }
 
 fn main() {
@@ -86,10 +110,10 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: bench_compare [--log <file>] [--fail-on-regression]\n\n\
-                     Diffs the last two throughput records per experiment in\n\
-                     {THROUGHPUT_LOG} and prints a speedup table. With\n\
-                     --fail-on-regression, exits nonzero when any experiment\n\
-                     regressed by more than {:.0}%.",
+                     Diffs the last two throughput records per (experiment,\n\
+                     simulated_instructions) cell in {THROUGHPUT_LOG} and prints\n\
+                     a speedup table. With --fail-on-regression, exits nonzero\n\
+                     when any cell regressed by more than {:.0}%.",
                     (1.0 - REGRESSION_GATE) * 100.0
                 );
                 return;
@@ -114,51 +138,54 @@ fn main() {
         std::process::exit(2);
     }
 
-    // Group in append (chronological) order per experiment.
-    let mut by_exp: BTreeMap<String, Vec<Record>> = BTreeMap::new();
-    for r in records {
-        by_exp.entry(r.experiment.clone()).or_default().push(r);
-    }
+    let by_cell = group_cells(records);
 
     println!(
-        "{:<24} {:>12} {:>12} {:>8}  {:<7} -> {:<7}",
-        "experiment", "old instr/s", "new instr/s", "speedup", "old rev", "new rev"
+        "{:<34} {:>12} {:>12} {:>8}  {:<7} -> {:<7}",
+        "experiment (instr)", "old instr/s", "new instr/s", "speedup", "old rev", "new rev"
     );
     let mut regressed = Vec::new();
-    for (exp, runs) in &by_exp {
+    for ((exp, instr), runs) in &by_cell {
+        let label = format!("{exp} ({instr})");
         if runs.len() < 2 {
             println!(
-                "{:<24} {:>12} {:>12.0} {:>8}  (only one record)",
-                exp, "-", runs[0].instr_per_second, "-"
+                "{:<34} {:>12} {:>12.0} {:>8}  (only one record)",
+                label, "-", runs[0].instr_per_second, "-"
             );
             continue;
         }
         let old = &runs[runs.len() - 2];
         let new = &runs[runs.len() - 1];
         let ratio = new.instr_per_second / old.instr_per_second.max(1e-9);
-        // A --quick record and a full sweep (or different thread counts)
-        // are not comparable: annotate and keep them out of the gate.
-        let like_for_like = new.threads == old.threads
-            && new.simulated_instructions == old.simulated_instructions;
+        // Workload size already matches within a cell; a thread-count
+        // change or different (or unrecorded) host hardware still makes
+        // the pair incomparable.
+        let same_cpu = match (&old.cpu, &new.cpu) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        };
+        let like_for_like = new.threads == old.threads && same_cpu;
         let marker = if ratio < REGRESSION_GATE && like_for_like { "  REGRESSION" } else { "" };
         println!(
-            "{:<24} {:>12.0} {:>12.0} {:>7.2}x  {:<7} -> {:<7}{marker}",
-            exp, old.instr_per_second, new.instr_per_second, ratio, old.git_rev, new.git_rev
+            "{:<34} {:>12.0} {:>12.0} {:>7.2}x  {:<7} -> {:<7}{marker}",
+            label, old.instr_per_second, new.instr_per_second, ratio, old.git_rev, new.git_rev
         );
         if new.threads != old.threads {
             println!(
-                "{:<24} (thread counts differ: {} vs {} — ratio is not like-for-like)",
+                "{:<34} (thread counts differ: {} vs {} — ratio is not like-for-like)",
                 "", old.threads, new.threads
             );
         }
-        if new.simulated_instructions != old.simulated_instructions {
+        if !same_cpu {
             println!(
-                "{:<24} (workload sizes differ: {} vs {} instr — ratio is not like-for-like)",
-                "", old.simulated_instructions, new.simulated_instructions
+                "{:<34} (host CPUs differ or unrecorded: {} vs {} — ratio is not like-for-like)",
+                "",
+                old.cpu.as_deref().unwrap_or("unknown"),
+                new.cpu.as_deref().unwrap_or("unknown")
             );
         }
         if ratio < REGRESSION_GATE && like_for_like {
-            regressed.push(exp.clone());
+            regressed.push(label);
         }
     }
 
@@ -187,6 +214,36 @@ mod tests {
         assert_eq!(recs[1].git_rev, "abc1234");
         assert_eq!(recs[1].threads, 1);
         assert!((recs[1].instr_per_second - 16310538.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn quick_and_full_records_land_in_separate_cells() {
+        let text = "[\n\
+            {\"experiment\":\"fig09\",\"threads\":1,\"simulated_instructions\":25000000,\"instr_per_second\":30000000,\"unix_time\":0},\n\
+            {\"experiment\":\"fig09\",\"threads\":1,\"simulated_instructions\":120000000,\"instr_per_second\":18000000,\"unix_time\":1},\n\
+            {\"experiment\":\"fig09\",\"threads\":1,\"simulated_instructions\":120000000,\"instr_per_second\":19000000,\"unix_time\":2}\n\
+            ]\n";
+        let cells = group_cells(parse_log(text));
+        assert_eq!(cells.len(), 2, "one cell per workload size");
+        assert_eq!(cells[&("fig09".to_string(), 25_000_000)].len(), 1);
+        let full = &cells[&("fig09".to_string(), 120_000_000)];
+        assert_eq!(full.len(), 2);
+        // Chronological order preserved within the cell: the newest record
+        // is last, so the comparison diffs 18 M/s -> 19 M/s, never the
+        // 25 M-instr smoke record against a full sweep.
+        assert!((full[0].instr_per_second - 18_000_000.0).abs() < 1.0);
+        assert!((full[1].instr_per_second - 19_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn cpu_field_is_optional_and_parsed() {
+        let text = "[\n\
+            {\"experiment\":\"fig09\",\"threads\":1,\"simulated_instructions\":10,\"instr_per_second\":1,\"unix_time\":0},\n\
+            {\"schema_version\":3,\"experiment\":\"fig09\",\"git_rev\":\"abc\",\"cpu\":\"AMD EPYC 7571\",\"threads\":1,\"simulated_instructions\":10,\"instr_per_second\":2,\"unix_time\":1}\n\
+            ]\n";
+        let recs = parse_log(text);
+        assert_eq!(recs[0].cpu, None, "pre-v3 record must stay parseable");
+        assert_eq!(recs[1].cpu.as_deref(), Some("AMD EPYC 7571"));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //!   exit instead of simulating. A `.csv` extension selects the text format
 //!   (`pc,addr,kind,work,dependent`); anything else writes binary `PPFT`.
 
-use ppf::{Ppf, RosenblattFilter};
+use ppf::{Ppf, PpfConfig, RosenblattFilter, MAX_BATCH};
 use ppf_prefetchers::{Bop, DaAmpm, NextLine, Sandbox, Sms, Spp, StridePrefetcher, Vldp};
 use ppf_sim::{NoPrefetcher, Prefetcher, Simulation, SystemConfig};
 use ppf_trace::{load_trace_csv, record_trace, record_trace_csv, AccessPattern, TraceBuilder, TraceFile, Workload};
@@ -42,6 +42,8 @@ OPTIONS:
     --warmup N                  warmup instructions per core  [default: 200000]
     --measure N                 measured instructions per core [default: 1000000]
     --seed N                    trace-generation seed         [default: 42]
+    --batch-window N            PPF depth-window size for batched inference,
+                                1..=64 (env PPF_BATCH_WINDOW) [default: 8]
     --record FILE               dump the workload to a trace file and exit
                                 (.csv writes `pc,addr,kind,work,dependent` text)
     --records N                 records to dump with --record [default: 1000000]
@@ -70,6 +72,7 @@ struct Args {
     record: Option<String>,
     records: u64,
     list: bool,
+    batch_window: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -84,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
         record: None,
         records: 1_000_000,
         list: false,
+        batch_window: ppf::batch_window_from_env(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -112,6 +116,15 @@ fn parse_args() -> Result<Args, String> {
                 args.records =
                     value("--records")?.parse().map_err(|e| format!("--records: {e}"))?;
             }
+            "--batch-window" => {
+                let n: usize = value("--batch-window")?
+                    .parse()
+                    .map_err(|e| format!("--batch-window: {e}"))?;
+                if !(1..=MAX_BATCH).contains(&n) {
+                    return Err(format!("--batch-window must be in 1..={MAX_BATCH}, got {n}"));
+                }
+                args.batch_window = n;
+            }
             "--list" => args.list = true,
             "--help" | "-h" => {
                 print!("{}", USAGE);
@@ -123,7 +136,8 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn build_prefetcher(name: &str) -> Result<Box<dyn Prefetcher>, String> {
+fn build_prefetcher(name: &str, batch_window: usize) -> Result<Box<dyn Prefetcher>, String> {
+    let ppf_cfg = || PpfConfig { batch_window, ..PpfConfig::default() };
     Ok(match name {
         "none" => Box::new(NoPrefetcher),
         "nextline" => Box::new(NextLine::default()),
@@ -134,8 +148,8 @@ fn build_prefetcher(name: &str) -> Result<Box<dyn Prefetcher>, String> {
         "vldp" => Box::new(Vldp::default()),
         "sms" => Box::new(Sms::default()),
         "sandbox" => Box::new(Sandbox::default()),
-        "ppf" => Box::new(Ppf::new(Spp::default())),
-        "ppf-vldp" => Box::new(Ppf::new(Vldp::default())),
+        "ppf" => Box::new(Ppf::with_config(Spp::default(), ppf_cfg())),
+        "ppf-vldp" => Box::new(Ppf::with_config(Vldp::default(), ppf_cfg())),
         "rosenblatt" => Box::new(RosenblattFilter::new(Spp::default())),
         other => return Err(format!("unknown prefetcher {other}")),
     })
@@ -211,14 +225,22 @@ fn run() -> Result<(), String> {
         }
         .map_err(|e| format!("opening trace: {e}"))?;
         println!("replaying {} records from {path}\n", trace.len());
-        sim.add_core(path.clone(), Box::new(trace), build_prefetcher(&args.prefetcher)?);
+        sim.add_core(
+            path.clone(),
+            Box::new(trace),
+            build_prefetcher(&args.prefetcher, args.batch_window)?,
+        );
     } else {
         for (i, name) in args.workloads.iter().enumerate() {
             let w =
                 Workload::by_name(name).ok_or_else(|| format!("unknown workload {name}"))?;
             let trace: Box<dyn AccessPattern> =
                 Box::new(TraceBuilder::new(w).seed(args.seed + i as u64).build());
-            sim.add_core(name.clone(), trace, build_prefetcher(&args.prefetcher)?);
+            sim.add_core(
+                name.clone(),
+                trace,
+                build_prefetcher(&args.prefetcher, args.batch_window)?,
+            );
         }
     }
 

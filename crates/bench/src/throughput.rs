@@ -17,7 +17,9 @@ pub const THROUGHPUT_LOG: &str = "results/bench_throughput.json";
 
 /// Version of the record layout. Bumped when fields are added so tooling
 /// (`bench_compare`) can tell old records apart; absent in pre-v2 records.
-pub const SCHEMA_VERSION: u32 = 2;
+/// v3 added `cpu`, so cross-host record pairs can be flagged as not
+/// like-for-like.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Git revision of the working tree, for record provenance.
 ///
@@ -42,6 +44,25 @@ pub fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// CPU model string of the host, for like-for-like comparisons: records
+/// measured on different hardware (shared runners, migrated containers)
+/// must not gate regressions against each other.
+///
+/// Reads `model name` from `/proc/cpuinfo`; degrades to `"unknown"` where
+/// that is unavailable — throughput logging must never fail the experiment.
+pub fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .filter(|m| !m.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// One appended measurement.
 #[derive(Debug, Clone)]
 pub struct ThroughputRecord {
@@ -56,6 +77,8 @@ pub struct ThroughputRecord {
     pub simulated_instructions: u64,
     /// Git revision the measurement was taken at (see [`git_rev`]).
     pub git_rev: String,
+    /// Host CPU model the measurement was taken on (see [`cpu_model`]).
+    pub cpu: String,
 }
 
 impl ThroughputRecord {
@@ -69,10 +92,11 @@ impl ThroughputRecord {
             .duration_since(std::time::UNIX_EPOCH)
             .map_or(0, |d| d.as_secs());
         format!(
-            "{{\"schema_version\":{},\"experiment\":\"{}\",\"git_rev\":\"{}\",\"threads\":{},\"wall_seconds\":{:.3},\"simulated_instructions\":{},\"instr_per_second\":{:.0},\"unix_time\":{}}}",
+            "{{\"schema_version\":{},\"experiment\":\"{}\",\"git_rev\":\"{}\",\"cpu\":\"{}\",\"threads\":{},\"wall_seconds\":{:.3},\"simulated_instructions\":{},\"instr_per_second\":{:.0},\"unix_time\":{}}}",
             SCHEMA_VERSION,
             self.experiment.replace('"', ""),
             self.git_rev.replace('"', ""),
+            self.cpu.replace('"', ""),
             self.threads,
             self.wall.as_secs_f64(),
             self.simulated_instructions,
@@ -131,6 +155,7 @@ pub fn record_throughput(
         wall,
         simulated_instructions,
         git_rev: git_rev(),
+        cpu: cpu_model(),
     };
     eprintln!(
         "[throughput] {}: {} simulated instr in {:.2}s with {} thread(s) = {:.1} M instr/s",
@@ -162,6 +187,7 @@ mod tests {
             wall: Duration::from_millis(1500),
             simulated_instructions: 3_000_000,
             git_rev: "deadbee".into(),
+            cpu: "TestCPU 9000".into(),
         }
     }
 
@@ -196,6 +222,12 @@ mod tests {
         assert!(s.contains(&format!("\"schema_version\":{SCHEMA_VERSION}")), "{s}");
         assert!(s.contains("\"git_rev\":\"deadbee\""), "{s}");
         assert!(s.contains("\"threads\":4"), "{s}");
+        assert!(s.contains("\"cpu\":\"TestCPU 9000\""), "{s}");
+    }
+
+    #[test]
+    fn cpu_model_never_empty() {
+        assert!(!cpu_model().is_empty());
     }
 
     #[test]

@@ -3,9 +3,34 @@
 
 use crate::features::{index_list, FeatureInputs, FeatureKind, IndexList};
 use crate::introspect::DecisionTelemetry;
-use crate::perceptron::Perceptron;
+use crate::perceptron::{Perceptron, WeightList};
 use crate::tables::MetaTable;
 use ppf_sim::addr::block_number;
+
+/// Most candidates one [`ScoredBatch`] holds (and the most one
+/// [`PpfFilter::infer_batch`] call accepts). Sized above SPP's
+/// `max_candidates` (40) so a full lookahead burst fits in one batch.
+pub const MAX_BATCH: usize = 64;
+
+/// Default [`PpfConfig::batch_window`]: how many consecutive lookahead
+/// depth levels are scored per [`PpfFilter::infer_batch`] call.
+pub const DEFAULT_BATCH_WINDOW: usize = 8;
+
+/// Resolves the depth-window size from `PPF_BATCH_WINDOW`: unset, empty, or
+/// unparsable means [`DEFAULT_BATCH_WINDOW`]; numeric values are clamped to
+/// `1..=MAX_BATCH`.
+pub fn batch_window_from_env() -> usize {
+    match std::env::var("PPF_BATCH_WINDOW") {
+        Ok(raw) if !raw.trim().is_empty() => match raw.trim().parse::<usize>() {
+            Ok(n) => n.clamp(1, MAX_BATCH),
+            Err(_) => {
+                eprintln!("PPF_BATCH_WINDOW={raw:?} is not a number; using {DEFAULT_BATCH_WINDOW}");
+                DEFAULT_BATCH_WINDOW
+            }
+        },
+        _ => DEFAULT_BATCH_WINDOW,
+    }
+}
 
 /// Inference outcome for one candidate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +75,10 @@ pub struct PpfConfig {
     pub features: Vec<FeatureKind>,
     /// Keep the most recent training events for offline analysis (0 = off).
     pub event_log_capacity: usize,
+    /// Lookahead depth levels batched per [`PpfFilter::infer_batch`] call
+    /// (clamped to `1..=MAX_BATCH`; purely a scheduling knob — results are
+    /// bit-identical at any value). Defaults from `PPF_BATCH_WINDOW`.
+    pub batch_window: usize,
 }
 
 impl Default for PpfConfig {
@@ -64,6 +93,7 @@ impl Default for PpfConfig {
             train_on_replacement: true,
             features: FeatureKind::default_set(),
             event_log_capacity: 0,
+            batch_window: batch_window_from_env(),
         }
     }
 }
@@ -92,13 +122,55 @@ pub struct FilterStats {
 
 /// One logged training event: the weights read at inference time for each
 /// feature, and whether the prefetch turned out useful. Feeds the paper's
-/// Sec 5.5 Pearson methodology.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Sec 5.5 Pearson methodology. `Copy` (inline [`WeightList`]), so logging
+/// into the preallocated ring never touches the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrainingEvent {
     /// Weight per feature at the moment of training.
-    pub weights: Vec<i8>,
+    pub weights: WeightList,
     /// Ground truth: the candidate was useful.
     pub useful: bool,
+}
+
+/// A depth-window of candidates scored in one [`PpfFilter::infer_batch`]
+/// call: per-candidate arena indices and perceptron sums, plus the weight
+/// [epoch](Perceptron::epoch) they were scored under.
+///
+/// Scoring is split from judging so the whole window can be summed with one
+/// transposed SIMD pass, while decisions are still issued strictly in
+/// candidate order by [`PpfFilter::judge_scored`] — which rescores a
+/// candidate if recording a previous one trained the weights in between.
+/// That makes the batched path bit-identical to the sequential
+/// infer/record loop.
+#[derive(Debug, Clone, Copy)]
+pub struct ScoredBatch {
+    len: usize,
+    epoch: u64,
+    sums: [i32; MAX_BATCH],
+    indices: [IndexList; MAX_BATCH],
+}
+
+impl Default for ScoredBatch {
+    fn default() -> Self {
+        Self {
+            len: 0,
+            epoch: 0,
+            sums: [0; MAX_BATCH],
+            indices: [IndexList::default(); MAX_BATCH],
+        }
+    }
+}
+
+impl ScoredBatch {
+    /// Candidates currently scored in the batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the batch holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
 }
 
 /// The Perceptron Prefetch Filter.
@@ -148,7 +220,9 @@ impl PpfFilter {
             reject_table: MetaTable::new(cfg.reject_table_entries),
             stats: FilterStats::default(),
             telemetry: DecisionTelemetry::from_env(),
-            event_log: Vec::new(),
+            // Full capacity up front: ring pushes never reallocate, keeping
+            // the event-logging path allocation-free after construction.
+            event_log: Vec::with_capacity(cfg.event_log_capacity),
             event_cursor: 0,
             cfg,
         }
@@ -223,9 +297,17 @@ impl PpfFilter {
     /// can store them without rehashing (the zero-allocation fast path the
     /// [`Ppf`](crate::Ppf) wrapper uses).
     pub fn infer_indexed(&mut self, inputs: &FeatureInputs) -> (Decision, i32, IndexList) {
-        self.stats.inferences += 1;
         let idxs = self.index(inputs);
         let sum = self.perceptron.sum_at(&idxs);
+        let decision = self.judge(sum, &idxs);
+        (decision, sum, idxs)
+    }
+
+    /// Thresholds an inference sum and commits the decision: counters and
+    /// the telemetry hook. Shared tail of [`PpfFilter::infer_indexed`] and
+    /// [`PpfFilter::judge_scored`].
+    fn judge(&mut self, sum: i32, idxs: &IndexList) -> Decision {
+        self.stats.inferences += 1;
         let decision = if sum >= self.cfg.tau_hi {
             self.stats.accepted_l2 += 1;
             Decision::PrefetchL2
@@ -241,13 +323,58 @@ impl PpfFilter {
         if cfg!(feature = "telemetry") && self.telemetry.enabled() {
             self.telemetry.record(
                 &self.perceptron,
-                &idxs,
+                idxs,
                 sum,
                 decision,
                 self.cfg.tau_hi,
                 self.cfg.tau_lo,
             );
         }
+        decision
+    }
+
+    /// Scores a depth-window of candidates in one transposed SIMD pass:
+    /// feature-hashes every input, then sums all index lists with
+    /// [`Perceptron::sum_batch`]. No counters or telemetry fire here —
+    /// decisions are committed per candidate by
+    /// [`PpfFilter::judge_scored`], in order, so the observable behavior
+    /// matches one [`PpfFilter::infer_indexed`] call per candidate exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` holds more than [`MAX_BATCH`] candidates.
+    pub fn infer_batch(&self, inputs: &[FeatureInputs], batch: &mut ScoredBatch) {
+        assert!(inputs.len() <= MAX_BATCH, "batch of {} exceeds MAX_BATCH", inputs.len());
+        batch.len = inputs.len();
+        batch.epoch = self.perceptron.epoch();
+        for (slot, inp) in batch.indices.iter_mut().zip(inputs) {
+            *slot = self.index(inp);
+        }
+        self.perceptron.sum_batch(&batch.indices[..batch.len], &mut batch.sums[..batch.len]);
+    }
+
+    /// Commits the decision for candidate `i` of a scored batch, in
+    /// candidate order. If the weights moved since the batch was scored
+    /// (recording an earlier candidate can displacement-train — see
+    /// [`PpfFilter::record_indexed`]), this candidate is rescored against
+    /// the current weights, so every decision sees exactly the weights the
+    /// sequential loop would have seen. The rescore is per-candidate (one
+    /// fresh gather), not a tail rescore: when training fires on most
+    /// records, a tail rescore degenerates to quadratic work while this
+    /// path never exceeds the sequential loop's cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the batch.
+    pub fn judge_scored(&mut self, batch: &mut ScoredBatch, i: usize) -> (Decision, i32, IndexList) {
+        assert!(i < batch.len, "candidate {i} outside batch of {}", batch.len);
+        let sum = if batch.epoch != self.perceptron.epoch() {
+            self.perceptron.sum_at(&batch.indices[i])
+        } else {
+            batch.sums[i]
+        };
+        let idxs = batch.indices[i];
+        let decision = self.judge(sum, &idxs);
         (decision, sum, idxs)
     }
 
@@ -556,5 +683,69 @@ mod tests {
     fn inconsistent_thresholds_rejected() {
         let cfg = PpfConfig { tau_lo: 10, tau_hi: -10, ..PpfConfig::default() };
         PpfFilter::new(cfg);
+    }
+
+    #[test]
+    fn batch_window_default_is_sane() {
+        assert!((1..=MAX_BATCH).contains(&DEFAULT_BATCH_WINDOW));
+        // The suite never sets PPF_BATCH_WINDOW, so the config default is
+        // the compiled-in one.
+        assert_eq!(PpfConfig::default().batch_window, DEFAULT_BATCH_WINDOW);
+    }
+
+    /// The batched score/judge split must reproduce the sequential
+    /// infer/record loop exactly — including when recording one candidate
+    /// displacement-trains the weights before the next is judged. Tiny
+    /// metadata tables make displacement constant, exercising the epoch
+    /// rescore in `judge_scored`.
+    #[test]
+    fn batched_path_matches_sequential_with_mid_batch_training() {
+        let tiny = PpfConfig {
+            prefetch_table_entries: 8,
+            reject_table_entries: 8,
+            ..PpfConfig::default()
+        };
+        let mut seq = PpfFilter::new(tiny.clone());
+        let mut bat = PpfFilter::new(tiny);
+        let stream: Vec<(u64, FeatureInputs)> = (0..400u64)
+            .map(|n| {
+                let addr = 0x10_000 + (n * 64) % 4096 + (n % 7) * 0x10_000;
+                (addr, inputs(addr, (n % 100) as u8))
+            })
+            .collect();
+        let mut batch = ScoredBatch::default();
+        for window in stream.chunks(11) {
+            // Sequential reference.
+            for &(addr, inp) in window {
+                let (d, sum, idxs) = seq.infer_indexed(&inp);
+                seq.record_indexed(addr, inp, idxs, sum, d);
+            }
+            // Batched path.
+            let inps: Vec<FeatureInputs> = window.iter().map(|&(_, i)| i).collect();
+            bat.infer_batch(&inps, &mut batch);
+            for (j, &(addr, inp)) in window.iter().enumerate() {
+                let (d, sum, idxs) = bat.judge_scored(&mut batch, j);
+                bat.record_indexed(addr, inp, idxs, sum, d);
+            }
+            // Occasional eviction feedback so training fires on both sides.
+            for &(addr, _) in window.iter().step_by(3) {
+                seq.train_on_eviction(addr, false);
+                bat.train_on_eviction(addr, false);
+            }
+        }
+        assert!(seq.stats.replacement_trains > 0, "tiny tables must displace-train");
+        assert_eq!(seq.stats, bat.stats);
+        assert_eq!(seq.save_weights(), bat.save_weights());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside batch")]
+    fn judging_past_the_batch_panics() {
+        let mut f = PpfFilter::default();
+        let mut batch = ScoredBatch::default();
+        f.infer_batch(&[inputs(0x1000, 50)], &mut batch);
+        assert_eq!(batch.len(), 1);
+        assert!(!batch.is_empty());
+        f.judge_scored(&mut batch, 1);
     }
 }

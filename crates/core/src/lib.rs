@@ -59,11 +59,14 @@ pub mod wrapper;
 
 pub use budget::{adder_tree_depth, default_budget, StorageBudget};
 pub use features::{FeatureInputs, FeatureKind, IndexList, MAX_FEATURES};
-pub use filter::{Decision, FilterStats, PpfConfig, PpfFilter, TrainingEvent};
+pub use filter::{
+    batch_window_from_env, Decision, FilterStats, PpfConfig, PpfFilter, ScoredBatch,
+    TrainingEvent, DEFAULT_BATCH_WINDOW, MAX_BATCH,
+};
 pub use introspect::{
     render_report, weight_saturation, DecisionTelemetry, SaturationRow, MARGIN_BUCKETS,
 };
-pub use perceptron::{Perceptron, WEIGHT_MAX, WEIGHT_MIN};
+pub use perceptron::{Perceptron, WeightList, WEIGHT_MAX, WEIGHT_MIN};
 pub use rosenblatt::{RosenblattConfig, RosenblattFilter, RosenblattStats};
 pub use tables::{MetaTable, TableEntry};
 pub use wrapper::{Ppf, PpfStats};

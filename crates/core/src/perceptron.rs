@@ -17,12 +17,68 @@
 //! ([`Perceptron::train_at`]) as a single gather over a flat slice — no
 //! per-table pointer chasing and no heap allocation.
 
-use crate::features::IndexList;
+use crate::features::{IndexList, MAX_FEATURES};
 
 /// Minimum weight value (5-bit signed).
 pub const WEIGHT_MIN: i8 = -16;
 /// Maximum weight value (5-bit signed).
 pub const WEIGHT_MAX: i8 = 15;
+
+/// Candidates per transposed block in [`Perceptron::sum_batch`]. Arbitrary
+/// batch sizes are chunked to this, so the stack-resident transpose buffer
+/// stays at `MAX_FEATURES * BATCH_CHUNK * 4` bytes (4 KiB).
+const BATCH_CHUNK: usize = 64;
+
+/// An inline, fixed-capacity snapshot of the weights at an [`IndexList`]'s
+/// arena positions — the training-event log's carrier. `Copy` and
+/// heap-free, unlike the `Vec<i8>` it replaced, so snapshotting weights on
+/// the filter's hot path never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WeightList {
+    raw: [i8; MAX_FEATURES],
+    len: u8,
+}
+
+impl WeightList {
+    /// Number of weights captured.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no weights were captured.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The captured weights in feature order.
+    pub fn as_slice(&self) -> &[i8] {
+        &self.raw[..self.len as usize]
+    }
+}
+
+impl std::ops::Index<usize> for WeightList {
+    type Output = i8;
+
+    fn index(&self, i: usize) -> &i8 {
+        &self.as_slice()[i]
+    }
+}
+
+impl FromIterator<i8> for WeightList {
+    /// # Panics
+    ///
+    /// Panics if the iterator yields more than [`MAX_FEATURES`] weights.
+    fn from_iter<T: IntoIterator<Item = i8>>(iter: T) -> Self {
+        let mut raw = [0i8; MAX_FEATURES];
+        let mut len = 0usize;
+        for w in iter {
+            assert!(len < MAX_FEATURES, "more than MAX_FEATURES weights");
+            raw[len] = w;
+            len += 1;
+        }
+        Self { raw, len: len as u8 }
+    }
+}
 
 /// A bank of per-feature weight tables flattened into one arena.
 #[derive(Debug, Clone)]
@@ -33,6 +89,11 @@ pub struct Perceptron {
     bases: Vec<u32>,
     /// `entries - 1` per feature (all sizes are powers of two).
     masks: Vec<u32>,
+    /// Bumped on every weight mutation ([`Perceptron::train_at`],
+    /// [`Perceptron::load_weights`]). Batched scoring records the epoch it
+    /// scored under; a later epoch means the cached sums may be stale and
+    /// the unjudged tail must be rescored (see `PpfFilter::judge_scored`).
+    epoch: u64,
 }
 
 impl Perceptron {
@@ -52,12 +113,19 @@ impl Perceptron {
             masks.push((s - 1) as u32);
             total += s;
         }
-        Self { arena: vec![0; total], bases, masks }
+        Self { arena: vec![0; total], bases, masks, epoch: 0 }
     }
 
     /// Number of feature tables.
     pub fn num_tables(&self) -> usize {
         self.bases.len()
+    }
+
+    /// Weight-mutation counter: unchanged epoch between two reads means no
+    /// weight changed in between, so cached inference sums are still exact.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Entries in one feature's table.
@@ -100,14 +168,54 @@ impl Perceptron {
     }
 
     /// Inference over arena positions from [`Perceptron::globalize`]: a
-    /// single gather-and-sum over the flat weight slice.
+    /// single gather-and-sum over the flat weight slice, vectorized by
+    /// [`ppf_sim::simd::sum_gather_i32`] (AVX2 gathers when available,
+    /// bit-identical portable unroll otherwise — `i32` addition over 5-bit
+    /// weights cannot overflow, so lane order doesn't matter).
     pub fn sum_at(&self, globals: &IndexList) -> i32 {
-        globals.as_slice().iter().map(|&i| self.arena[i as usize]).sum()
+        ppf_sim::simd::sum_gather_i32(&self.arena, globals.as_slice())
+    }
+
+    /// Batched inference: scores `lists[c]` into `out[c]` for every
+    /// candidate in one call. Index lists are transposed into feature-major
+    /// order on the stack so each feature's weight-table cache lines are
+    /// touched once per chunk of [`BATCH_CHUNK`] candidates, then summed by
+    /// the same SIMD gather machinery as [`Perceptron::sum_at`]. Results
+    /// are bit-identical to calling `sum_at` per candidate at this epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than `lists` or any list's arity differs
+    /// from the number of feature tables.
+    pub fn sum_batch(&self, lists: &[IndexList], out: &mut [i32]) {
+        assert!(out.len() >= lists.len(), "output slice shorter than batch");
+        let features = self.bases.len();
+        let mut trans = [0u32; MAX_FEATURES * BATCH_CHUNK];
+        for (chunk, out_chunk) in
+            lists.chunks(BATCH_CHUNK).zip(out.chunks_mut(BATCH_CHUNK))
+        {
+            for (c, list) in chunk.iter().enumerate() {
+                let idx = list.as_slice();
+                assert_eq!(idx.len(), features, "one index per feature table");
+                for (f, &i) in idx.iter().enumerate() {
+                    trans[f * BATCH_CHUNK + c] = i;
+                }
+            }
+            ppf_sim::simd::sum_batch_transposed(
+                &self.arena,
+                &trans,
+                features,
+                BATCH_CHUNK,
+                chunk.len(),
+                out_chunk,
+            );
+        }
     }
 
     /// Training over arena positions: bump every selected weight up
     /// (`true`) or down (`false`), saturating at the 5-bit range.
     pub fn train_at(&mut self, globals: &IndexList, up: bool) {
+        self.epoch += 1;
         for &i in globals.as_slice() {
             let w = &mut self.arena[i as usize];
             *w = if up {
@@ -119,7 +227,9 @@ impl Perceptron {
     }
 
     /// Reads the weights at arena positions (for the training-event log).
-    pub fn weights_at(&self, globals: &IndexList) -> Vec<i8> {
+    /// Returns an inline fixed-capacity [`WeightList`] — no heap traffic on
+    /// the event-logging path.
+    pub fn weights_at(&self, globals: &IndexList) -> WeightList {
         globals.as_slice().iter().map(|&i| self.arena[i as usize] as i8).collect()
     }
 
@@ -181,6 +291,7 @@ impl Perceptron {
                 return Err(format!("weight {w} outside the 5-bit range"));
             }
         }
+        self.epoch += 1;
         for (slot, &b) in self.arena.iter_mut().zip(bytes) {
             *slot = i32::from(b as i8);
         }
@@ -316,6 +427,56 @@ mod tests {
     #[should_panic(expected = "one index per feature table")]
     fn wrong_arity_panics() {
         Perceptron::new(&[64, 64]).sum(&[1]);
+    }
+
+    #[test]
+    fn sum_batch_matches_per_candidate() {
+        let mut p = Perceptron::new(&[64, 128, 4096]);
+        // Scatter some trained weight so sums are non-trivial.
+        for i in 0..200usize {
+            p.train(&[i % 64, (i * 7) % 128, (i * 13) % 4096], i % 3 != 0);
+        }
+        // Sizes straddling the 8-lane blocks and the 64-candidate chunk.
+        for n in [0usize, 1, 7, 8, 9, 40, 63, 64, 65, 130] {
+            let lists: Vec<IndexList> = (0..n)
+                .map(|c| globals(&p, &[c % 64, (c * 3) % 128, (c * 11) % 4096]))
+                .collect();
+            let mut out = vec![0i32; n];
+            p.sum_batch(&lists, &mut out);
+            for (c, list) in lists.iter().enumerate() {
+                assert_eq!(out[c], p.sum_at(list), "batch {n}, candidate {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_tracks_weight_mutations() {
+        let mut p = Perceptron::new(&[64, 128]);
+        assert_eq!(p.epoch(), 0);
+        let g = globals(&p, &[3, 70]);
+        p.train_at(&g, true);
+        assert_eq!(p.epoch(), 1);
+        let saved = p.save_weights();
+        assert_eq!(p.epoch(), 1, "read-only ops leave the epoch alone");
+        p.load_weights(&saved).expect("roundtrip");
+        assert_eq!(p.epoch(), 2, "bulk weight load moves the epoch");
+    }
+
+    #[test]
+    fn weight_list_carrier() {
+        let mut p = Perceptron::new(&[64, 128]);
+        let g = globals(&p, &[3, 70]);
+        p.train_at(&g, true);
+        p.train_at(&g, false);
+        p.train_at(&g, false);
+        let w = p.weights_at(&g);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+        assert_eq!(w.as_slice(), &[-1, -1]);
+        assert_eq!(w[0], -1);
+        assert_eq!(WeightList::default().len(), 0);
+        let collected: WeightList = [1i8, -2, 3].into_iter().collect();
+        assert_eq!(collected.as_slice(), &[1, -2, 3]);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! filter downward.
 
 use crate::features::FeatureInputs;
-use crate::filter::{Decision, FilterStats, PpfConfig, PpfFilter};
-use ppf_prefetchers::{Candidate, LookaheadSource};
+use crate::filter::{Decision, FilterStats, PpfConfig, PpfFilter, ScoredBatch, MAX_BATCH};
+use ppf_prefetchers::{depth_window_len, Candidate, LookaheadSource};
 use ppf_sim::{
     AccessContext, EvictionInfo, FillLevel, FilterCounters, Prefetcher, PrefetchRequest,
 };
@@ -85,6 +85,13 @@ pub struct Ppf<S> {
     // The paper's three global PC trackers (Table 3).
     pc_history: [u64; 3],
     candidate_buf: Vec<Candidate>,
+    /// Scratch for batched scoring: one depth-window of feature inputs and
+    /// the scored sums/indices. Lives in the struct so the demand-access
+    /// path stays allocation-free.
+    inputs_buf: [FeatureInputs; MAX_BATCH],
+    batch: ScoredBatch,
+    /// Depth levels per `infer_batch` call (clamped config knob).
+    batch_window: usize,
     /// Run statistics.
     pub stats: PpfStats,
 }
@@ -101,13 +108,23 @@ impl<S: LookaheadSource> Ppf<S> {
     ///
     /// Panics under the same conditions as [`PpfFilter::new`].
     pub fn with_config(source: S, cfg: PpfConfig) -> Self {
+        let batch_window = cfg.batch_window.clamp(1, MAX_BATCH);
         Self {
             source,
             filter: PpfFilter::new(cfg),
             pc_history: [0; 3],
             candidate_buf: Vec::new(),
+            inputs_buf: [FeatureInputs::default(); MAX_BATCH],
+            batch: ScoredBatch::default(),
+            batch_window,
             stats: PpfStats::default(),
         }
+    }
+
+    /// The effective depth-window size (config value clamped to
+    /// `1..=MAX_BATCH`).
+    pub fn batch_window(&self) -> usize {
+        self.batch_window
     }
 
     /// Borrow of the filter (weights, tables, stats).
@@ -162,34 +179,49 @@ impl<S: LookaheadSource> Prefetcher for Ppf<S> {
         cands.clear();
         self.source.candidates(ctx, &mut cands);
 
-        // Judge each candidate. `last_signature` chains through the
-        // lookahead path (the previous step's signature).
+        // Judge the stream one depth-window at a time: feature-index and
+        // score a whole window with one batched SIMD pass, then commit
+        // decisions strictly in candidate order (judge_scored rescores if
+        // recording an earlier candidate trained the weights), so emission
+        // order and τ-threshold semantics match the per-candidate loop
+        // exactly. `last_signature` chains through the lookahead path (the
+        // previous step's signature) and depends only on candidate
+        // metadata, so the whole window's inputs can be built up front.
         let mut last_signature = cands.first().map_or(0, |c| c.meta.signature);
-        for c in &cands {
-            let inputs = self.build_inputs(ctx, c, last_signature);
-            last_signature = c.meta.signature;
-            // Zero-allocation fast path: inference hands back the weight-
-            // arena indices and recording stores them for training.
-            let (decision, sum, indices) = self.filter.infer_indexed(&inputs);
-            self.filter.record_indexed(c.addr, inputs, indices, sum, decision);
-            match decision {
-                Decision::PrefetchL2 => {
-                    self.stats.accepted += 1;
-                    self.stats.accepted_depth_sum += u64::from(c.meta.depth);
-                    self.stats.accepted_by_depth[bucket(c.meta.depth)] += 1;
-                    out.push(PrefetchRequest::new(c.addr, FillLevel::L2));
-                }
-                Decision::PrefetchLlc => {
-                    self.stats.accepted += 1;
-                    self.stats.accepted_depth_sum += u64::from(c.meta.depth);
-                    self.stats.accepted_by_depth[bucket(c.meta.depth)] += 1;
-                    out.push(PrefetchRequest::new(c.addr, FillLevel::Llc));
-                }
-                Decision::Reject => {
-                    self.stats.rejected += 1;
-                    self.stats.rejected_by_depth[bucket(c.meta.depth)] += 1;
+        let mut start = 0usize;
+        while start < cands.len() {
+            let n = depth_window_len(&cands[start..], self.batch_window, MAX_BATCH);
+            for (j, c) in cands[start..start + n].iter().enumerate() {
+                let inputs = self.build_inputs(ctx, c, last_signature);
+                last_signature = c.meta.signature;
+                self.inputs_buf[j] = inputs;
+            }
+            self.filter.infer_batch(&self.inputs_buf[..n], &mut self.batch);
+            for (j, c) in cands[start..start + n].iter().enumerate() {
+                // Zero-allocation fast path: judging hands back the weight-
+                // arena indices and recording stores them for training.
+                let (decision, sum, indices) = self.filter.judge_scored(&mut self.batch, j);
+                self.filter.record_indexed(c.addr, self.inputs_buf[j], indices, sum, decision);
+                match decision {
+                    Decision::PrefetchL2 => {
+                        self.stats.accepted += 1;
+                        self.stats.accepted_depth_sum += u64::from(c.meta.depth);
+                        self.stats.accepted_by_depth[bucket(c.meta.depth)] += 1;
+                        out.push(PrefetchRequest::new(c.addr, FillLevel::L2));
+                    }
+                    Decision::PrefetchLlc => {
+                        self.stats.accepted += 1;
+                        self.stats.accepted_depth_sum += u64::from(c.meta.depth);
+                        self.stats.accepted_by_depth[bucket(c.meta.depth)] += 1;
+                        out.push(PrefetchRequest::new(c.addr, FillLevel::Llc));
+                    }
+                    Decision::Reject => {
+                        self.stats.rejected += 1;
+                        self.stats.rejected_by_depth[bucket(c.meta.depth)] += 1;
+                    }
                 }
             }
+            start += n;
         }
         self.candidate_buf = cands;
 
@@ -244,6 +276,7 @@ impl<S: LookaheadSource> Prefetcher for Ppf<S> {
             negative_trains: s.negative_trains,
             false_negative_recoveries: s.false_negative_recoveries,
             replacement_trains: s.replacement_trains,
+            batch_window: self.batch_window as u64,
         }
     }
 
@@ -344,5 +377,44 @@ mod tests {
     #[test]
     fn name_is_ppf() {
         assert_eq!(Ppf::new(TwoFaced).name(), "ppf");
+    }
+
+    #[test]
+    fn batch_window_is_clamped_and_reported() {
+        let cfg = PpfConfig { batch_window: 0, ..PpfConfig::default() };
+        let ppf = Ppf::with_config(TwoFaced, cfg);
+        assert_eq!(ppf.batch_window(), 1);
+        let cfg = PpfConfig { batch_window: 10_000, ..PpfConfig::default() };
+        let ppf = Ppf::with_config(TwoFaced, cfg);
+        assert_eq!(ppf.batch_window(), MAX_BATCH);
+        assert_eq!(ppf.filter_counters().batch_window, MAX_BATCH as u64);
+    }
+
+    /// The depth-window size is a pure scheduling knob: any value must
+    /// produce the same requests, decisions, and trained weights.
+    #[test]
+    fn window_size_does_not_change_behavior() {
+        let run = |window: usize| {
+            let cfg = PpfConfig { batch_window: window, ..PpfConfig::default() };
+            let mut ppf = Ppf::with_config(TwoFaced, cfg);
+            let mut all = Vec::new();
+            for i in 0..300u64 {
+                let addr = 0x10_0000 + i * 64;
+                ppf.on_demand_access(&ctx(0x400, addr), &mut all);
+                ppf.on_eviction(&EvictionInfo {
+                    addr: addr + 4096 * 8,
+                    was_prefetch: true,
+                    was_used: false,
+                });
+            }
+            (all, ppf.filter_stats(), ppf.filter().save_weights())
+        };
+        let baseline = run(1);
+        for window in [2, 8, MAX_BATCH] {
+            let got = run(window);
+            assert_eq!(got.0, baseline.0, "requests differ at window {window}");
+            assert_eq!(got.1, baseline.1, "stats differ at window {window}");
+            assert_eq!(got.2, baseline.2, "weights differ at window {window}");
+        }
     }
 }

@@ -1,0 +1,219 @@
+//! Differential property tests for the SIMD/batched inference engine:
+//! scalar reference vs dispatched `sum_at` vs the portable fallback vs
+//! `sum_batch`, and the sequential filter loop vs the batched
+//! score-then-judge path — all must be bit-identical.
+//!
+//! `scripts/verify.sh --simd` runs this suite twice, once with the default
+//! dispatch (AVX2 where the CPU has it) and once under `PPF_NO_SIMD=1`
+//! (portable fallback pinned), so both implementations face every property
+//! here. `dispatch_level_matches_environment` pins that the forced-fallback
+//! run really exercises the portable path.
+
+use ppf::{Decision, FeatureInputs, IndexList, Perceptron, PpfConfig, PpfFilter, ScoredBatch};
+use ppf_sim::simd;
+use proptest::prelude::*;
+
+/// Scalar reference inference: the pre-SIMD `sum_at` body.
+fn scalar_sum(p: &Perceptron, globals: &IndexList) -> i32 {
+    globals.as_slice().iter().map(|&i| p.weight_at(i)).sum()
+}
+
+/// Builds a perceptron with the given per-table size exponents and a
+/// deterministic pseudo-random training history.
+fn trained_perceptron(size_bits: &[u32], train_steps: &[(usize, bool)]) -> Perceptron {
+    let sizes: Vec<usize> = size_bits.iter().map(|&b| 1usize << b).collect();
+    let mut p = Perceptron::new(&sizes);
+    for &(seed, up) in train_steps {
+        let locals: Vec<usize> = (0..sizes.len()).map(|f| seed.wrapping_mul(f + 3)).collect();
+        p.train(&locals, up);
+    }
+    p
+}
+
+/// Whether this test process runs with SIMD disabled (set by the
+/// `--simd` verify gate's second pass).
+fn no_simd_env() -> bool {
+    simd::no_simd(std::env::var("PPF_NO_SIMD").ok().as_deref())
+}
+
+#[test]
+fn dispatch_level_matches_environment() {
+    // Read-only on the environment: under PPF_NO_SIMD the dispatcher must
+    // have pinned the portable path for the entire process.
+    if no_simd_env() {
+        assert_eq!(
+            simd::active_level(),
+            simd::SimdLevel::Portable,
+            "PPF_NO_SIMD must force the portable fallback"
+        );
+    }
+}
+
+proptest! {
+    /// Dispatched inference, the explicitly-portable lane code, and the
+    /// scalar one-liner agree on every index list — including empty-ish
+    /// short lists and the full nine features.
+    #[test]
+    fn sum_at_matches_scalar_and_portable(
+        size_bits in proptest::collection::vec(6u32..13, 2..10),
+        train_steps in proptest::collection::vec((0usize..1 << 16, any::<bool>()), 0..200),
+        locals in proptest::collection::vec(0usize..1 << 16, 9..10),
+    ) {
+        let p = trained_perceptron(&size_bits, &train_steps);
+        let g = p.globalize(
+            &locals[..size_bits.len()].iter().map(|&i| i as u32).collect::<IndexList>(),
+        );
+        let want = scalar_sum(&p, &g);
+        prop_assert_eq!(p.sum_at(&g), want);
+        // The portable lane code must agree regardless of dispatch level.
+        let arena: Vec<i32> = (0..size_bits.len())
+            .flat_map(|f| p.feature_weights(f).to_vec())
+            .collect();
+        prop_assert_eq!(simd::sum_gather_i32_portable(&arena, g.as_slice()), want);
+    }
+
+    /// Batched scoring at every awkward size — 0, 1, sub-lane, lane-exact,
+    /// and past the 64-candidate chunk boundary — matches per-candidate
+    /// `sum_at` element-wise.
+    #[test]
+    fn sum_batch_matches_sum_at(
+        size_bits in proptest::collection::vec(6u32..13, 2..10),
+        train_steps in proptest::collection::vec((0usize..1 << 16, any::<bool>()), 0..100),
+        seeds in proptest::collection::vec(0usize..1 << 16, 0..150),
+    ) {
+        let p = trained_perceptron(&size_bits, &train_steps);
+        let lists: Vec<IndexList> = seeds
+            .iter()
+            .map(|&s| {
+                p.globalize(
+                    &(0..size_bits.len())
+                        .map(|f| s.wrapping_mul(f + 7) as u32)
+                        .collect::<IndexList>(),
+                )
+            })
+            .collect();
+        let mut out = vec![0i32; lists.len()];
+        p.sum_batch(&lists, &mut out);
+        for (c, list) in lists.iter().enumerate() {
+            prop_assert_eq!(out[c], p.sum_at(list), "candidate {} of {}", c, lists.len());
+        }
+    }
+
+    /// The full filter pipeline — batched windows of arbitrary size, with
+    /// tiny metadata tables so recording constantly displacement-trains the
+    /// weights mid-window — reproduces the sequential infer/record loop
+    /// exactly: same decisions, same counters, same trained weights.
+    #[test]
+    fn batched_filter_matches_sequential(
+        accesses in proptest::collection::vec(
+            (0u64..1 << 20, 0u8..101, 1u8..17, -64i16..64),
+            1..200,
+        ),
+        windows in proptest::collection::vec(1usize..13, 1..40),
+        evict_every in 2usize..6,
+    ) {
+        let tiny = PpfConfig {
+            prefetch_table_entries: 8,
+            reject_table_entries: 8,
+            ..PpfConfig::default()
+        };
+        let mut seq = PpfFilter::new(tiny.clone());
+        let mut bat = PpfFilter::new(tiny);
+        let stream: Vec<(u64, FeatureInputs)> = accesses
+            .iter()
+            .map(|&(addr, conf, depth, delta)| {
+                let a = 0x10_0000 + addr * 64;
+                (a, FeatureInputs {
+                    trigger_addr: a,
+                    trigger_pc: 0x400000 + u64::from(conf) * 4,
+                    confidence: conf,
+                    delta,
+                    depth,
+                    ..FeatureInputs::default()
+                })
+            })
+            .collect();
+
+        let mut decisions_seq = Vec::new();
+        let mut decisions_bat = Vec::new();
+        let mut batch = ScoredBatch::default();
+        let mut cursor = 0usize;
+        let mut w = 0usize;
+        while cursor < stream.len() {
+            // Window sizes cycle through the generated list, so chunk
+            // boundaries land at arbitrary (and repeating) offsets.
+            let n = windows[w % windows.len()].min(stream.len() - cursor);
+            w += 1;
+            let window = &stream[cursor..cursor + n];
+
+            for &(addr, inp) in window {
+                let (d, sum, idxs) = seq.infer_indexed(&inp);
+                seq.record_indexed(addr, inp, idxs, sum, d);
+                decisions_seq.push(d);
+            }
+
+            let inps: Vec<FeatureInputs> = window.iter().map(|&(_, i)| i).collect();
+            bat.infer_batch(&inps, &mut batch);
+            for (j, &(addr, inp)) in window.iter().enumerate() {
+                let (d, sum, idxs) = bat.judge_scored(&mut batch, j);
+                bat.record_indexed(addr, inp, idxs, sum, d);
+                decisions_bat.push(d);
+            }
+
+            // Interleave eviction feedback between windows so both positive
+            // and negative training paths run.
+            for &(addr, _) in window.iter().step_by(evict_every) {
+                seq.train_on_eviction(addr, false);
+                bat.train_on_eviction(addr, false);
+            }
+            cursor += n;
+        }
+
+        prop_assert_eq!(decisions_seq, decisions_bat);
+        prop_assert_eq!(seq.stats, bat.stats);
+        prop_assert_eq!(seq.save_weights(), bat.save_weights());
+    }
+}
+
+/// A deterministic end-to-end spot check that survives even if proptest
+/// shrinks oddly: heavy negative training between batch windows, rejection
+/// thresholds crossed mid-stream.
+#[test]
+fn batched_filter_crosses_thresholds_like_sequential() {
+    let mut seq = PpfFilter::default();
+    let mut bat = PpfFilter::default();
+    let inp = |addr: u64| FeatureInputs {
+        trigger_addr: addr,
+        trigger_pc: 0x400100,
+        confidence: 10,
+        delta: 1,
+        depth: 1,
+        ..FeatureInputs::default()
+    };
+    let mut batch = ScoredBatch::default();
+    let mut saw_reject = false;
+    for round in 0..30u64 {
+        let addrs: Vec<u64> = (0..5).map(|i| 0x2000 + round * 320 + i * 64).collect();
+        for &a in &addrs {
+            let i = inp(a);
+            let (d, sum, idxs) = seq.infer_indexed(&i);
+            seq.record_indexed(a, i, idxs, sum, d);
+            if d == Decision::Reject {
+                saw_reject = true;
+            }
+        }
+        let inps: Vec<FeatureInputs> = addrs.iter().map(|&a| inp(a)).collect();
+        bat.infer_batch(&inps, &mut batch);
+        for (j, &a) in addrs.iter().enumerate() {
+            let (d, sum, idxs) = bat.judge_scored(&mut batch, j);
+            bat.record_indexed(a, inps[j], idxs, sum, d);
+        }
+        for &a in &addrs {
+            seq.train_on_eviction(a, false);
+            bat.train_on_eviction(a, false);
+        }
+    }
+    assert!(saw_reject, "training must push the filter across tau_lo");
+    assert_eq!(seq.stats, bat.stats);
+    assert_eq!(seq.save_weights(), bat.save_weights());
+}

@@ -13,7 +13,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use ppf::{Decision, FeatureInputs, PpfConfig, PpfFilter};
+use ppf::{Decision, FeatureInputs, PpfConfig, PpfFilter, ScoredBatch};
 
 struct CountingAllocator;
 
@@ -120,4 +120,62 @@ fn steady_state_filter_path_never_allocates() {
         f.telemetry().accepts() + f.telemetry().rejects() >= 100_000,
         "telemetry should have recorded the measured window"
     );
+
+    // Event-log path: the ring is preallocated at construction and
+    // TrainingEvent carries an inline WeightList, so logging weight
+    // snapshots on every train must not allocate either — including while
+    // the ring wraps.
+    let mut f = PpfFilter::new(PpfConfig { event_log_capacity: 64, ..PpfConfig::default() });
+    for i in 0..20_000 {
+        cycle(&mut f, i);
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 20_000..60_000 {
+        cycle(&mut f, i);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "event-log-enabled filter path allocated {} time(s)",
+        after - before
+    );
+    assert_eq!(f.training_events().len(), 64, "the ring must have filled and wrapped");
+
+    // Batched scoring path: infer_batch + judge_scored over stack-resident
+    // ScoredBatch windows (including epoch-triggered per-candidate rescores
+    // when recording displacement-trains mid-window) is allocation-free too.
+    let mut f = PpfFilter::new(PpfConfig {
+        prefetch_table_entries: 8, // tiny tables force mid-window training
+        reject_table_entries: 8,
+        ..PpfConfig::default()
+    });
+    let mut batch = ScoredBatch::default();
+    let mut batched_cycles = |f: &mut PpfFilter, lo: u64, hi: u64| {
+        let mut inps = [FeatureInputs::default(); 9];
+        for base in (lo..hi).step_by(9) {
+            for (j, slot) in inps.iter_mut().enumerate() {
+                *slot = inputs(base + j as u64);
+            }
+            f.infer_batch(&inps, &mut batch);
+            for (j, inp) in inps.iter().enumerate() {
+                let (d, sum, idxs) = f.judge_scored(&mut batch, j);
+                f.record_indexed(inp.trigger_addr + 64, *inp, idxs, sum, d);
+                if d != Decision::Reject && j % 2 == 0 {
+                    f.train_on_eviction(inp.trigger_addr + 64, false);
+                }
+            }
+        }
+    };
+    batched_cycles(&mut f, 0, 20_000);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    batched_cycles(&mut f, 20_000, 60_000);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "batched inference path allocated {} time(s)",
+        after - before
+    );
+    assert!(f.stats.replacement_trains > 0, "tiny tables must have displacement-trained");
 }

@@ -49,7 +49,7 @@ pub mod vldp;
 pub use ampm::{AmpmConfig, DaAmpm};
 pub use baselines::{NextLine, StridePrefetcher};
 pub use bop::{Bop, BopConfig};
-pub use lookahead::{Candidate, CandidateMeta, LookaheadSource};
+pub use lookahead::{depth_window_len, Candidate, CandidateMeta, LookaheadSource};
 pub use sandbox::{Sandbox, SandboxConfig};
 pub use sms::{Sms, SmsConfig};
 pub use spp::{update_signature, Spp, SppConfig, SppStats};

@@ -61,6 +61,36 @@ pub trait LookaheadSource {
     fn name(&self) -> &'static str;
 }
 
+/// How many leading candidates of `cands` form one *depth window*: a run
+/// spanning at most `max_depths` distinct consecutive depth values, capped
+/// at `max_cands` candidates. PPF's batched scoring feeds one window per
+/// `infer_batch` call, so this is purely a scheduling boundary — candidates
+/// are still judged in stream order within and across windows.
+///
+/// Returns 0 only for an empty slice, so callers always make progress.
+///
+/// # Panics
+///
+/// Panics if `max_depths` or `max_cands` is zero.
+pub fn depth_window_len(cands: &[Candidate], max_depths: usize, max_cands: usize) -> usize {
+    assert!(max_depths >= 1 && max_cands >= 1, "window limits must be at least 1");
+    let mut depths_seen = 0usize;
+    let mut current_depth = None;
+    for (i, c) in cands.iter().enumerate() {
+        if i >= max_cands {
+            return i;
+        }
+        if current_depth != Some(c.meta.depth) {
+            depths_seen += 1;
+            if depths_seen > max_depths {
+                return i;
+            }
+            current_depth = Some(c.meta.depth);
+        }
+    }
+    cands.len()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +113,42 @@ mod tests {
         fn name(&self) -> &'static str {
             "fixed"
         }
+    }
+
+    fn cand(depth: u8) -> Candidate {
+        Candidate {
+            addr: 0x1000,
+            meta: CandidateMeta {
+                depth,
+                signature: 0,
+                confidence: 50,
+                delta: 1,
+                trigger_pc: 0,
+                trigger_addr: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn depth_window_spans_consecutive_depth_runs() {
+        let cands: Vec<Candidate> =
+            [1, 1, 1, 2, 2, 3, 4, 4, 4, 4, 5].iter().map(|&d| cand(d)).collect();
+        assert_eq!(depth_window_len(&cands, 1, 64), 3, "one depth level");
+        assert_eq!(depth_window_len(&cands, 2, 64), 5);
+        assert_eq!(depth_window_len(&cands, 4, 64), 10);
+        assert_eq!(depth_window_len(&cands, 8, 64), cands.len(), "window covers all");
+        assert_eq!(depth_window_len(&cands, 8, 4), 4, "candidate cap binds first");
+        assert_eq!(depth_window_len(&[], 8, 64), 0, "empty stream");
+        // A depth value reappearing later counts as a new level (the run is
+        // over consecutive values, not a set).
+        let zigzag: Vec<Candidate> = [1, 2, 1].iter().map(|&d| cand(d)).collect();
+        assert_eq!(depth_window_len(&zigzag, 2, 64), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_window_rejected() {
+        depth_window_len(&[], 0, 64);
     }
 
     #[test]

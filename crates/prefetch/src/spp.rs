@@ -22,6 +22,11 @@ use crate::lookahead::{Candidate, CandidateMeta, LookaheadSource};
 use ppf_sim::addr::{page_number, page_offset_blocks, BLOCKS_PER_PAGE, BLOCK_BITS};
 use ppf_sim::{AccessContext, FillLevel, Prefetcher, PrefetchRequest};
 
+/// Most delta predictions a Pattern Table entry may hold
+/// ([`SppConfig::deltas_per_entry`] is asserted against this), sizing the
+/// fixed per-depth prediction buffer in the lookahead walk.
+pub const MAX_PATTERN_WAYS: usize = 16;
+
 /// SPP configuration (defaults follow the paper's Table 3 structures).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SppConfig {
@@ -205,6 +210,11 @@ impl Spp {
             "table sizes must be powers of two"
         );
         assert!(cfg.deltas_per_entry > 0 && cfg.max_depth > 0, "degenerate SPP config");
+        assert!(
+            cfg.deltas_per_entry <= MAX_PATTERN_WAYS,
+            "deltas_per_entry {} exceeds MAX_PATTERN_WAYS {MAX_PATTERN_WAYS}",
+            cfg.deltas_per_entry
+        );
         Self {
             signature_table: vec![SigEntry::default(); cfg.signature_table_entries],
             pattern_table: vec![PatternEntry::default(); cfg.pattern_table_entries],
@@ -327,11 +337,20 @@ impl Spp {
                 break;
             }
             let c_sig = entry.c_sig;
-            // Emit all deltas clearing the floor at this depth.
+            // Emit all deltas clearing the floor at this depth. The
+            // predictions are copied into a fixed stack buffer (the entry
+            // holds at most MAX_PATTERN_WAYS deltas, asserted at
+            // construction) because `ghr_insert` below needs `&mut self` —
+            // this keeps the per-depth loop allocation-free.
             let mut best: Option<(i16, u32)> = None;
-            let preds: Vec<(i16, u32)> =
-                entry.deltas.iter().copied().zip(entry.c_delta.iter().copied()).collect();
-            for (d, c_d) in preds {
+            let mut preds = [(0i16, 0u32); MAX_PATTERN_WAYS];
+            let n_preds = entry.deltas.len();
+            for (slot, (&d, &c_d)) in
+                preds.iter_mut().zip(entry.deltas.iter().zip(&entry.c_delta))
+            {
+                *slot = (d, c_d);
+            }
+            for &(d, c_d) in &preds[..n_preds] {
                 let conf = path_conf * (c_d * 100 / c_sig) * alpha / 10_000;
                 if best.is_none_or(|(_, bc)| conf > bc) {
                     best = Some((d, conf));

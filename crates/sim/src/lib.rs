@@ -42,6 +42,7 @@ pub mod invariants;
 pub mod mshr;
 pub mod prefetcher;
 pub mod rob;
+pub mod simd;
 pub mod stats;
 pub mod system;
 pub mod telemetry;
@@ -52,6 +53,7 @@ pub use dram::{Dram, DramStats};
 pub use prefetcher::{
     AccessContext, EvictionInfo, FillLevel, NoPrefetcher, Prefetcher, PrefetchRequest,
 };
+pub use simd::SimdLevel;
 pub use stats::{CoreReport, PrefetchStats, SimReport, IPC_SAMPLE_WINDOW};
 pub use system::{run_single_core, Simulation};
 pub use telemetry::{

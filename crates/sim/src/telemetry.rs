@@ -126,6 +126,10 @@ pub struct FilterCounters {
     pub false_negative_recoveries: u64,
     /// Negative trainings triggered by metadata-table replacement.
     pub replacement_trains: u64,
+    /// Depth-window size used for batched inference (config metadata, not a
+    /// counter: carried through [`FilterCounters::delta`] unchanged so
+    /// interval snapshots record the knob a run was swept at).
+    pub batch_window: u64,
 }
 
 impl FilterCounters {
@@ -142,6 +146,7 @@ impl FilterCounters {
                 .false_negative_recoveries
                 .saturating_sub(other.false_negative_recoveries),
             replacement_trains: self.replacement_trains.saturating_sub(other.replacement_trains),
+            batch_window: self.batch_window,
         }
     }
 }
@@ -211,7 +216,8 @@ impl IntervalSnapshot {
              \"pf_dropped_mshr\":{},\"pf_dropped_queue\":{},\
              \"ppf_inferences\":{},\"ppf_accept_l2\":{},\"ppf_accept_llc\":{},\
              \"ppf_reject\":{},\"ppf_pos_train\":{},\"ppf_neg_train\":{},\
-             \"ppf_recoveries\":{},\"ppf_replacement_trains\":{}}}",
+             \"ppf_recoveries\":{},\"ppf_replacement_trains\":{},\
+             \"ppf_batch_window\":{}}}",
             SCHEMA_VERSION,
             self.core,
             self.seq,
@@ -243,6 +249,7 @@ impl IntervalSnapshot {
             self.filter.negative_trains,
             self.filter.false_negative_recoveries,
             self.filter.replacement_trains,
+            self.filter.batch_window,
         )
     }
 
@@ -575,6 +582,7 @@ mod tests {
         assert!(line.contains("\"instr\":8000,"), "{line}");
         assert!(line.contains("\"l2_acc\":80,"), "{line}");
         assert!(line.contains("\"ppf_inferences\":7,"), "{line}");
+        assert!(line.contains("\"ppf_batch_window\":"), "{line}");
         assert!(line.ends_with('}'), "{line}");
         // Braces balance and there is exactly one object.
         assert_eq!(line.matches('{').count(), 1);

@@ -9,6 +9,8 @@
 #                                 #       throughput comparison table
 #   scripts/verify.sh --faults    # fault drill only (assumes a release build)
 #   scripts/verify.sh --telemetry # telemetry gate only
+#   scripts/verify.sh --simd      # SIMD gate only: tier-1 tests twice
+#                                 #   (default dispatch, then PPF_NO_SIMD=1)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -59,6 +61,25 @@ run_telemetry_gate() {
     echo "telemetry gate: OK (every export schema-valid)"
 }
 
+# SIMD gate: the whole test suite must pass with the portable fallback
+# pinned (PPF_NO_SIMD=1) and produce results bit-identical to the default
+# dispatch — the differential suites (simd_equivalence, arena_equivalence,
+# layout_golden) compare against scalar references under whichever level is
+# active, so two passes cover both implementations.
+run_simd_gate() {
+    echo "== SIMD gate: cargo test -q --workspace with PPF_NO_SIMD=1 =="
+    PPF_NO_SIMD=1 cargo test -q --workspace
+    echo "simd gate: OK (portable fallback passes the full suite)"
+}
+
+if [ "$mode" = "--simd" ]; then
+    echo "== cargo test -q --workspace (default SIMD dispatch) =="
+    cargo test -q --workspace
+    run_simd_gate
+    echo "verify: OK"
+    exit 0
+fi
+
 if [ "$mode" = "--faults" ]; then
     run_fault_drill
     echo "verify: OK"
@@ -79,6 +100,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
+
+run_simd_gate
 
 run_fault_drill
 

@@ -1,0 +1,73 @@
+//! Criterion macro-benchmark for the event-horizon run loop: a fixed
+//! 4-core multi-programmed mix simulated end to end, once with cycle
+//! skipping (the default) and once ticking every cycle (`PPF_NO_SKIP`
+//! semantics, forced programmatically). Throughput is reported in
+//! simulated cycles per host second, so the two bars are directly
+//! comparable — both modes simulate the identical cycle count — and the
+//! gap is the horizon win in isolation from full-sweep harness noise.
+//!
+//! A probe run before the measurement prints the mix's skip ratio
+//! (skipped cycles / total cycles) on stderr; the deterministic simulator
+//! guarantees the benched runs replay the same schedule.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ppf::Ppf;
+use ppf_prefetchers::Spp;
+use ppf_sim::{Simulation, SystemConfig};
+use ppf_trace::{TraceBuilder, Workload};
+
+const WARMUP: u64 = 2_000;
+const MEASURE: u64 = 20_000;
+
+/// A deliberately mixed quartet: mcf (latency-bound pointer chasing, long
+/// stalls → high skip), lbm (bandwidth streaming), gcc (irregular control)
+/// and omnetpp (pointer-heavy discrete-event churn).
+const MIX: [&str; 4] = ["605.mcf_s", "619.lbm_s", "602.gcc_s", "620.omnetpp_s"];
+
+fn build_sim() -> Simulation {
+    let mut sim = Simulation::new(SystemConfig::multi_core(MIX.len()));
+    for (core, name) in MIX.iter().enumerate() {
+        let w = Workload::by_name(name).expect("workload in mix");
+        let trace = Box::new(TraceBuilder::new(w).seed(7 + core as u64).build());
+        sim.add_core(*name, trace, Box::new(Ppf::new(Spp::default())));
+    }
+    sim
+}
+
+fn bench_tick_loop(c: &mut Criterion) {
+    // Probe run: the simulator is deterministic, so every benched run (in
+    // either mode) covers exactly this many cycles; Criterion's element
+    // count turns wall time into simulated cycles per second.
+    let mut probe = build_sim();
+    probe.set_cycle_skip(true);
+    probe.run(WARMUP, MEASURE);
+    let stats = probe.cycle_stats();
+    eprintln!(
+        "[tick_loop] 4-core mix: {} cycles total, {} ticked, {} skipped (skip ratio {:.2})",
+        stats.total_cycles,
+        stats.ticks,
+        stats.skipped_cycles,
+        stats.skip_ratio(),
+    );
+
+    let mut g = c.benchmark_group("tick_loop");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(stats.total_cycles));
+    for (name, skip) in [("horizon_skip", true), ("naive_tick", false)] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = build_sim();
+                    sim.set_cycle_skip(skip);
+                    sim
+                },
+                |mut sim| sim.run(WARMUP, MEASURE),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tick_loop);
+criterion_main!(benches);

@@ -39,6 +39,8 @@ struct Record {
     threads: u64,
     simulated_instructions: u64,
     instr_per_second: f64,
+    /// Event-horizon skip ratio; `None` for pre-v4 records.
+    skip_ratio: Option<f64>,
 }
 
 /// Extracts `"key":"value"` from one record line.
@@ -73,6 +75,7 @@ fn parse_log(text: &str) -> Vec<Record> {
                 threads: num_field(line, "threads")? as u64,
                 simulated_instructions: num_field(line, "simulated_instructions")? as u64,
                 instr_per_second: num_field(line, "instr_per_second")?,
+                skip_ratio: num_field(line, "skip_ratio"),
             })
         })
         .collect()
@@ -170,6 +173,15 @@ fn main() {
             "{:<34} {:>12.0} {:>12.0} {:>7.2}x  {:<7} -> {:<7}{marker}",
             label, old.instr_per_second, new.instr_per_second, ratio, old.git_rev, new.git_rev
         );
+        if old.skip_ratio.is_some() || new.skip_ratio.is_some() {
+            let fmt = |r: Option<f64>| r.map_or("-".to_string(), |v| format!("{v:.2}"));
+            println!(
+                "{:<34} (skip ratio: {} -> {})",
+                "",
+                fmt(old.skip_ratio),
+                fmt(new.skip_ratio)
+            );
+        }
         if new.threads != old.threads {
             println!(
                 "{:<34} (thread counts differ: {} vs {} — ratio is not like-for-like)",
@@ -244,6 +256,17 @@ mod tests {
         let recs = parse_log(text);
         assert_eq!(recs[0].cpu, None, "pre-v3 record must stay parseable");
         assert_eq!(recs[1].cpu.as_deref(), Some("AMD EPYC 7571"));
+    }
+
+    #[test]
+    fn skip_ratio_parses_when_present_only() {
+        let text = "[\n\
+            {\"experiment\":\"fig09\",\"threads\":1,\"simulated_instructions\":10,\"instr_per_second\":1,\"unix_time\":0},\n\
+            {\"schema_version\":4,\"experiment\":\"fig09\",\"git_rev\":\"abc\",\"cpu\":\"X\",\"threads\":1,\"simulated_instructions\":10,\"instr_per_second\":2,\"skip_ratio\":0.8125,\"unix_time\":1}\n\
+            ]\n";
+        let recs = parse_log(text);
+        assert_eq!(recs[0].skip_ratio, None, "pre-v4 record must stay parseable");
+        assert!((recs[1].skip_ratio.unwrap() - 0.8125).abs() < 1e-9);
     }
 
     #[test]

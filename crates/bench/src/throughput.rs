@@ -18,8 +18,11 @@ pub const THROUGHPUT_LOG: &str = "results/bench_throughput.json";
 /// Version of the record layout. Bumped when fields are added so tooling
 /// (`bench_compare`) can tell old records apart; absent in pre-v2 records.
 /// v3 added `cpu`, so cross-host record pairs can be flagged as not
-/// like-for-like.
-pub const SCHEMA_VERSION: u32 = 3;
+/// like-for-like. v4 added `skip_ratio`: the fraction of simulated cycles
+/// the event-horizon scheduler jumped instead of executing (0 under
+/// `PPF_NO_SKIP=1`), so a throughput change can be attributed to (or
+/// decoupled from) cycle skipping.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Git revision of the working tree, for record provenance.
 ///
@@ -79,6 +82,10 @@ pub struct ThroughputRecord {
     pub git_rev: String,
     /// Host CPU model the measurement was taken on (see [`cpu_model`]).
     pub cpu: String,
+    /// Fraction of simulated cycles skipped by the event-horizon scheduler
+    /// across the sweep (`None` when no simulation ran in-process, e.g. a
+    /// sweep resumed entirely from checkpoints).
+    pub skip_ratio: Option<f64>,
 }
 
 impl ThroughputRecord {
@@ -91,8 +98,11 @@ impl ThroughputRecord {
         let unix_time = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map_or(0, |d| d.as_secs());
+        let skip = self
+            .skip_ratio
+            .map_or(String::new(), |r| format!("\"skip_ratio\":{r:.4},"));
         format!(
-            "{{\"schema_version\":{},\"experiment\":\"{}\",\"git_rev\":\"{}\",\"cpu\":\"{}\",\"threads\":{},\"wall_seconds\":{:.3},\"simulated_instructions\":{},\"instr_per_second\":{:.0},\"unix_time\":{}}}",
+            "{{\"schema_version\":{},\"experiment\":\"{}\",\"git_rev\":\"{}\",\"cpu\":\"{}\",\"threads\":{},\"wall_seconds\":{:.3},\"simulated_instructions\":{},\"instr_per_second\":{:.0},{}\"unix_time\":{}}}",
             SCHEMA_VERSION,
             self.experiment.replace('"', ""),
             self.git_rev.replace('"', ""),
@@ -101,6 +111,7 @@ impl ThroughputRecord {
             self.wall.as_secs_f64(),
             self.simulated_instructions,
             self.instr_per_second(),
+            skip,
             unix_time,
         )
     }
@@ -149,6 +160,10 @@ pub fn record_throughput(
     wall: Duration,
     simulated_instructions: u64,
 ) {
+    // The sweep's workers all fold into the same process-wide tally, so
+    // this is the skip ratio over every simulation the experiment ran.
+    let cycles = ppf_sim::horizon::global_stats();
+    let skip_ratio = (cycles.total_cycles > 0).then(|| cycles.skip_ratio());
     let rec = ThroughputRecord {
         experiment: experiment.to_string(),
         threads,
@@ -156,14 +171,16 @@ pub fn record_throughput(
         simulated_instructions,
         git_rev: git_rev(),
         cpu: cpu_model(),
+        skip_ratio,
     };
     eprintln!(
-        "[throughput] {}: {} simulated instr in {:.2}s with {} thread(s) = {:.1} M instr/s",
+        "[throughput] {}: {} simulated instr in {:.2}s with {} thread(s) = {:.1} M instr/s{}",
         experiment,
         simulated_instructions,
         wall.as_secs_f64(),
         threads,
         rec.instr_per_second() / 1e6,
+        skip_ratio.map_or(String::new(), |r| format!(" (skip ratio {r:.2})")),
     );
     if let Err(e) = append_record(PathBuf::from(THROUGHPUT_LOG).as_path(), &rec) {
         eprintln!("[throughput] could not write {THROUGHPUT_LOG}: {e}");
@@ -188,6 +205,7 @@ mod tests {
             simulated_instructions: 3_000_000,
             git_rev: "deadbee".into(),
             cpu: "TestCPU 9000".into(),
+            skip_ratio: Some(0.8125),
         }
     }
 
@@ -223,6 +241,16 @@ mod tests {
         assert!(s.contains("\"git_rev\":\"deadbee\""), "{s}");
         assert!(s.contains("\"threads\":4"), "{s}");
         assert!(s.contains("\"cpu\":\"TestCPU 9000\""), "{s}");
+        assert!(s.contains("\"skip_ratio\":0.8125"), "{s}");
+    }
+
+    #[test]
+    fn skip_ratio_is_omitted_when_unknown() {
+        let r = ThroughputRecord { skip_ratio: None, ..rec("x") };
+        let s = r.to_json();
+        assert!(!s.contains("skip_ratio"), "{s}");
+        // The record must stay a single well-formed object either way.
+        assert!(s.contains(",\"unix_time\":"), "{s}");
     }
 
     #[test]

@@ -45,6 +45,8 @@ pub struct DaAmpm {
     cfg: AmpmConfig,
     zones: Vec<Zone>,
     clock: u64,
+    /// Candidate buffer reused across triggers.
+    scratch: Vec<u64>,
 }
 
 impl DaAmpm {
@@ -58,7 +60,7 @@ impl DaAmpm {
             cfg.zones > 0 && cfg.max_stride > 0 && cfg.degree > 0 && cfg.max_per_trigger > 0,
             "degenerate AMPM config"
         );
-        Self { zones: Vec::with_capacity(cfg.zones), clock: 0, cfg }
+        Self { zones: Vec::with_capacity(cfg.zones), clock: 0, scratch: Vec::new(), cfg }
     }
 
     fn zone_mut(&mut self, page: u64) -> &mut Zone {
@@ -98,18 +100,37 @@ impl Prefetcher for DaAmpm {
         let map = zone.map;
         let page_base = ctx.addr & !0xFFFu64;
 
-        let bit = |i: i32| -> bool {
-            (0..BLOCKS_PER_PAGE as i32).contains(&i) && (map >> i) & 1 == 1
-        };
+        // A matched stride needs `t - s` and `t - 2s` both set — three
+        // distinct accessed blocks counting the trigger — so sparse zones
+        // (first touches of a page, random singletons) are resolved by one
+        // popcount instead of a walk over 2×max_stride stride hypotheses.
+        if map.count_ones() < 3 {
+            return;
+        }
+
+        // Direction prefilter from the same mask: an ascending match (s > 0)
+        // reads only bits strictly below `t`, a descending one only bits
+        // strictly above. A pure stream thus skips its dead direction. The
+        // double shift sidesteps the undefined 64-bit shift at t = 63.
+        let below = map & ((1u64 << t) - 1);
+        let above = (map >> t) >> 1;
+
+        // In-range test as a single unsigned compare: casting a negative
+        // offset to u32 wraps far above BLOCKS_PER_PAGE.
+        let bit = |i: i32| -> bool { (i as u32) < BLOCKS_PER_PAGE as u32 && (map >> i) & 1 == 1 };
 
         // Collect matched-stride candidates.
-        let mut candidates: Vec<u64> = Vec::new();
+        let mut candidates = std::mem::take(&mut self.scratch);
+        candidates.clear();
         for k in 1..=max_stride {
             for s in [k, -k] {
+                if if s > 0 { below == 0 } else { above == 0 } {
+                    continue;
+                }
                 if bit(t - s) && bit(t - 2 * s) {
                     for d in 1..=degree as i32 {
                         let target = t + s * d;
-                        if (0..BLOCKS_PER_PAGE as i32).contains(&target) && !bit(target) {
+                        if (target as u32) < BLOCKS_PER_PAGE as u32 && !bit(target) {
                             candidates.push(page_base + target as u64 * BLOCK_SIZE);
                         }
                     }
@@ -125,7 +146,8 @@ impl Prefetcher for DaAmpm {
         // present them in row order (closest-first column access).
         candidates.sort_unstable();
         candidates.dedup();
-        out.extend(candidates.into_iter().map(|a| PrefetchRequest::new(a, FillLevel::L2)));
+        out.extend(candidates.drain(..).map(|a| PrefetchRequest::new(a, FillLevel::L2)));
+        self.scratch = candidates;
     }
 
     fn name(&self) -> &'static str {
@@ -215,6 +237,44 @@ mod tests {
         let mut sorted = addrs.clone();
         sorted.sort_unstable();
         assert_eq!(addrs, sorted);
+    }
+
+    #[test]
+    fn scratch_reuse_leaves_no_residue() {
+        let mut p = DaAmpm::default();
+        let mut out = Vec::new();
+        let base = 0x700_0000;
+        for i in 0..3u64 {
+            p.on_demand_access(&ctx(base + i * 64), &mut out);
+        }
+        assert!(!out.is_empty(), "stride established, candidates expected");
+        // A fresh page with no stride evidence must contribute nothing, even
+        // though the internal candidate buffer was just populated.
+        out.clear();
+        p.on_demand_access(&ctx(0x1230_0000), &mut out);
+        assert!(out.is_empty(), "stale scratch contents leaked: {out:?}");
+    }
+
+    #[test]
+    fn boundary_offsets_do_not_wrap() {
+        // Offsets 0 and 63 exercise the shift-edge cases of the mask
+        // prefilters; descending at the page top and ascending at the page
+        // bottom must behave like the plain per-bit scan.
+        let mut p = DaAmpm::default();
+        let mut out = Vec::new();
+        let base = 0x1400_0000;
+        for i in (61..64u64).rev() {
+            out.clear();
+            p.on_demand_access(&ctx(base + i * 64), &mut out);
+        }
+        assert!(out.iter().any(|r| r.addr == base + 60 * 64), "descending from 63: {out:?}");
+        let mut p = DaAmpm::default();
+        let base2 = 0x1500_0000;
+        for i in 0..3u64 {
+            out.clear();
+            p.on_demand_access(&ctx(base2 + i * 64), &mut out);
+        }
+        assert!(out.iter().any(|r| r.addr == base2 + 3 * 64), "ascending from 0: {out:?}");
     }
 
     #[test]

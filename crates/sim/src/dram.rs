@@ -147,6 +147,22 @@ impl Dram {
         self.schedule_inner(block, cycle, false, 0)
     }
 
+    /// The latest cycle at which any channel's data bus is still occupied
+    /// (`0` before any traffic).
+    ///
+    /// Exposed to make the event-horizon analysis auditable: the DRAM model
+    /// contributes **no** term to the simulator's horizon because it is
+    /// fully passive. Every transfer's completion cycle is computed here,
+    /// synchronously, at schedule time and registered as the requesting
+    /// MSHR entry's `ready_at` — nothing in the DRAM evolves on its own.
+    /// Bank `busy_until` and bus free times only matter when a *new* request
+    /// arrives, and a new request requires a prior core or MSHR event that
+    /// is itself on the horizon. Skipping a cycle therefore never skips a
+    /// DRAM state change that anything could observe.
+    pub fn bus_busy_until(&self) -> u64 {
+        self.channels.iter().map(|c| c.bus_free_at).max().unwrap_or(0)
+    }
+
     fn schedule_inner(
         &mut self,
         block: u64,
@@ -195,6 +211,17 @@ mod tests {
 
     fn dram() -> Dram {
         Dram::new(&DramConfig::default())
+    }
+
+    #[test]
+    fn bus_busy_until_tracks_the_latest_transfer() {
+        let mut d = dram();
+        assert_eq!(d.bus_busy_until(), 0);
+        let done = d.schedule_read(0, 100);
+        // The transfer's bus occupancy is fixed at schedule time and never
+        // moves afterwards — the passivity the event horizon relies on.
+        assert_eq!(d.bus_busy_until(), done);
+        assert_eq!(d.bus_busy_until(), done);
     }
 
     #[test]

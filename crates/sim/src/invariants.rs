@@ -57,9 +57,38 @@ fn parse(raw: Option<&str>) -> u64 {
     }
 }
 
+/// The first cycle strictly after `cycle` on the checker's grid, or
+/// `u64::MAX` when checking is disabled (`period == 0`).
+///
+/// The event-horizon scheduler bounds every cycle skip by this value, so an
+/// enabled checker keeps its exact per-`period` cadence even when the
+/// simulator jumps dead time — a corruption is still localised to the same
+/// window it would be under naive per-cycle ticking.
+pub fn next_check(cycle: u64, period: u64) -> u64 {
+    if period == 0 {
+        return u64::MAX;
+    }
+    (cycle / period + 1).saturating_mul(period)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn next_check_lands_on_every_multiple() {
+        assert_eq!(next_check(0, 1_000), 1_000);
+        assert_eq!(next_check(999, 1_000), 1_000);
+        assert_eq!(next_check(1_000, 1_000), 2_000, "a boundary advances to the next one");
+        assert_eq!(next_check(1_001, 1_000), 2_000);
+    }
+
+    #[test]
+    fn next_check_disabled_never_bounds_a_skip() {
+        assert_eq!(next_check(123, 0), u64::MAX);
+        // Near-overflow periods saturate instead of wrapping behind `cycle`.
+        assert_eq!(next_check(u64::MAX - 1, u64::MAX / 2 + 1), u64::MAX);
+    }
 
     #[test]
     fn unset_follows_build_profile() {

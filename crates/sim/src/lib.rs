@@ -38,6 +38,7 @@ pub mod cache;
 pub mod config;
 pub mod dram;
 pub mod fxhash;
+pub mod horizon;
 pub mod invariants;
 pub mod mshr;
 pub mod prefetcher;
@@ -50,6 +51,7 @@ pub mod telemetry;
 pub use cache::{Cache, CacheStats, FillKind};
 pub use config::{CacheConfig, CoreConfig, DramConfig, PrefetchConfig, ReplacementPolicy, SystemConfig};
 pub use dram::{Dram, DramStats};
+pub use horizon::CycleStats;
 pub use prefetcher::{
     AccessContext, EvictionInfo, FillLevel, NoPrefetcher, Prefetcher, PrefetchRequest,
 };

@@ -177,36 +177,52 @@ impl MshrFile {
         self.entries.get_mut(&block).expect("waiter on missing MSHR").waiters.push((seq, since));
     }
 
-    /// Removes and returns all entries whose fill completes at or before
-    /// `cycle`, in deterministic (block-number) order.
-    pub fn drain_ready(&mut self, cycle: u64) -> Vec<(u64, MshrEntry)> {
+    /// Lower bound on the earliest cycle any in-flight fill completes
+    /// (`u64::MAX` when the file is empty). May run early after a
+    /// promote-then-drain, never late — so it is a safe contribution to the
+    /// simulator's event horizon: no fill from this file can be missed by
+    /// skipping straight to this cycle.
+    pub fn next_ready(&self) -> u64 {
+        self.next_ready
+    }
+
+    /// Removes every entry whose fill completes at or before `cycle` into
+    /// `out` (cleared first), in deterministic (block-number) order.
+    ///
+    /// The common nothing-ready call is a single comparison against the
+    /// cached lower bound. A ready batch is collected by peeking the heap
+    /// before each pop and removing the live entry directly — one hash
+    /// removal per drained block; stale nodes (the block was promoted to an
+    /// earlier time, or a duplicate node survived a reallocation) find the
+    /// entry gone or timestamped differently and are discarded.
+    pub fn drain_ready_into(&mut self, cycle: u64, out: &mut Vec<(u64, MshrEntry)>) {
+        out.clear();
         if self.next_ready > cycle {
-            return Vec::new();
+            return;
         }
-        let mut blocks: Vec<u64> = Vec::new();
         while let Some(&Reverse((t, b))) = self.ready_heap.peek() {
             if t > cycle {
                 break;
             }
             self.ready_heap.pop();
-            // Stale node unless the live entry still completes exactly at `t`.
+            // Stale node unless the live entry still completes exactly at `t`
+            // (a second node for the same block finds the entry already gone).
             if self.entries.get(&b).is_some_and(|e| e.ready_at == t) {
-                blocks.push(b);
+                let e = self.entries.remove(&b).expect("just found");
+                out.push((b, e));
             }
         }
         self.next_ready =
             self.ready_heap.peek().map_or(u64::MAX, |&Reverse((t, _))| t);
-        // A block re-allocated at a time an old stale node also carries can
-        // be pushed twice above; dedup after sorting into drain order.
-        blocks.sort_unstable();
-        blocks.dedup();
-        blocks
-            .into_iter()
-            .map(|b| {
-                let e = self.entries.remove(&b).expect("just found");
-                (b, e)
-            })
-            .collect()
+        out.sort_unstable_by_key(|&(b, _)| b);
+    }
+
+    /// Allocating wrapper around [`MshrFile::drain_ready_into`] (tests and
+    /// callers without a scratch buffer).
+    pub fn drain_ready(&mut self, cycle: u64) -> Vec<(u64, MshrEntry)> {
+        let mut out = Vec::new();
+        self.drain_ready_into(cycle, &mut out);
+        out
     }
 
     /// Validates the file's structural invariants, returning a description
@@ -286,6 +302,44 @@ mod tests {
         let blocks: Vec<u64> = done.iter().map(|(b, _)| *b).collect();
         assert_eq!(blocks, vec![3, 9]);
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn next_ready_tracks_allocate_promote_drain() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.next_ready(), u64::MAX);
+        m.allocate(1, 50, MissOrigin::Demand, false, 0);
+        m.allocate(2, 30, MissOrigin::Demand, false, 0);
+        assert_eq!(m.next_ready(), 30);
+        m.promote(1, 40, 0); // 50 -> 10
+        assert_eq!(m.next_ready(), 10);
+        m.drain_ready(10);
+        // A lower *bound*: the stale (50, 1) node may hold it below the live
+        // minimum, but it must never exceed any live completion time.
+        assert!(m.next_ready() <= m.get(2).unwrap().ready_at);
+        m.drain_ready(u64::MAX);
+        assert_eq!(m.next_ready(), u64::MAX);
+    }
+
+    #[test]
+    fn drain_ready_into_reuses_the_buffer() {
+        let mut m = MshrFile::new(4);
+        m.allocate(9, 5, MissOrigin::Demand, false, 0);
+        m.allocate(3, 5, MissOrigin::Demand, false, 0);
+        let mut out = vec![(999, MshrEntry {
+            ready_at: 0,
+            origin: MissOrigin::Demand,
+            waiters: Vec::new(),
+            demand_merged: false,
+            write: false,
+            counted_demand: false,
+            owner: 0,
+        })];
+        m.drain_ready_into(5, &mut out);
+        let blocks: Vec<u64> = out.iter().map(|(b, _)| *b).collect();
+        assert_eq!(blocks, vec![3, 9], "stale buffer contents must be cleared");
+        m.drain_ready_into(5, &mut out);
+        assert!(out.is_empty(), "nothing-ready drain must clear the buffer too");
     }
 
     #[test]

@@ -79,6 +79,14 @@ impl Rob {
         self.entries.get((seq - self.head_seq) as usize).copied()
     }
 
+    /// The completion cycle recorded at the head entry ([`PENDING`] while it
+    /// waits on memory), or `None` when the ROB is empty. The head bounds
+    /// in-order retirement, so this is the retire term of the simulator's
+    /// event horizon: nothing can retire before the head's completion cycle.
+    pub fn head_completion(&self) -> Option<u64> {
+        self.entries.front().copied()
+    }
+
     /// Retires up to `width` completed instructions from the head at `cycle`;
     /// returns how many retired.
     pub fn retire(&mut self, cycle: u64, width: u32) -> u32 {
@@ -122,6 +130,17 @@ mod tests {
         }
         assert_eq!(rob.retire(1, 4), 4);
         assert_eq!(rob.retire(1, 4), 4);
+    }
+
+    #[test]
+    fn head_completion_tracks_the_front_entry() {
+        let mut rob = Rob::new(4);
+        assert_eq!(rob.head_completion(), None);
+        rob.push(7);
+        rob.push(PENDING);
+        assert_eq!(rob.head_completion(), Some(7));
+        rob.retire(7, 1);
+        assert_eq!(rob.head_completion(), Some(PENDING));
     }
 
     #[test]

@@ -61,7 +61,11 @@ impl PrefetchStats {
 }
 
 /// Per-core results for the measurement region.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field (including the raw IPC samples); the
+/// horizon differential tests use it to assert the event-horizon scheduler
+/// is bit-identical to naive per-cycle ticking.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoreReport {
     /// Workload name driven on this core.
     pub workload: String,
@@ -114,7 +118,7 @@ impl CoreReport {
 }
 
 /// Whole-simulation results for the measurement region.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// One report per core.
     pub cores: Vec<CoreReport>,

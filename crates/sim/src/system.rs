@@ -14,13 +14,24 @@
 //! fill is delivered by the MSHR at that cycle. MSHR occupancy bounds the
 //! memory-level parallelism, the DRAM bus bounds bandwidth — the two
 //! first-order effects the PPF paper's results depend on.
+//!
+//! The run loop does not execute every cycle. Each tick computes the *event
+//! horizon* — the earliest future cycle at which any state can change: the
+//! min over every core's wake cycle (L2 MSHR completions, ROB head
+//! completion, dispatch/issue eligibility), the LLC MSHR's `next_ready`, and
+//! pending credit/eviction queues — and the loop jumps straight there,
+//! bounded by the invariant checker's cadence. Skipped cycles are provably
+//! no-ops, so results are bit-identical to naive per-cycle ticking (the
+//! `PPF_NO_SKIP` escape hatch and the differential property tests pin this;
+//! `DESIGN.md` §5d has the cycle-exactness argument).
 
 use crate::addr;
 use crate::cache::{Cache, FillKind};
 use crate::config::SystemConfig;
 use crate::dram::Dram;
 use crate::fxhash::FxHashSet;
-use crate::mshr::{MissOrigin, MshrAlloc, MshrFile};
+use crate::horizon::CycleStats;
+use crate::mshr::{MissOrigin, MshrAlloc, MshrEntry, MshrFile};
 use crate::prefetcher::{AccessContext, EvictionInfo, FillLevel, Prefetcher, PrefetchRequest};
 use crate::rob::{Rob, PENDING};
 use crate::stats::{CoreReport, PrefetchStats, SimReport, IPC_SAMPLE_WINDOW};
@@ -87,6 +98,13 @@ struct CoreUnit {
     snapshot: Option<CoreReport>,
     // Scratch buffer reused across triggers.
     scratch: Vec<PrefetchRequest>,
+    /// Earliest cycle at which this core's state can change again: min of
+    /// its L2 MSHR `next_ready`, its ROB head completion, and the
+    /// dispatch/issue wake cycles returned by the phase functions. A core
+    /// whose wake cycle has not arrived is skipped entirely by
+    /// [`Simulation::tick`] (unless a shared LLC fill landed, which can
+    /// unblock any core). Always `> cycle` after the core runs a tick.
+    next_wake: u64,
     // Telemetry (inert single-slot ring unless telemetry is enabled).
     intervals: IntervalRing,
     interval_seq: u64,
@@ -111,6 +129,16 @@ pub struct Simulation {
     /// Cycles between invariant checks; `0` disables them (see
     /// [`crate::invariants`]). Sampled once at construction.
     invariant_period: u64,
+    /// Whether the run loop may jump dead cycles (see [`crate::horizon`]).
+    /// Sampled once at construction from `PPF_NO_SKIP`; override with
+    /// [`Simulation::set_cycle_skip`].
+    skip_cycles: bool,
+    /// Ticks actually executed (lifetime of this simulation).
+    ticks_executed: u64,
+    /// Cycles jumped over without executing a tick.
+    skipped_cycles: u64,
+    /// Scratch buffer for MSHR drains (LLC and per-core, reused serially).
+    drain_scratch: Vec<(u64, MshrEntry)>,
     /// Telemetry settings (see [`crate::telemetry`]). Sampled once at
     /// construction from `PPF_TELEMETRY`; override with
     /// [`Simulation::set_telemetry`] before attaching cores.
@@ -145,6 +173,10 @@ impl Simulation {
             credits: Vec::new(),
             llc_evictions: Vec::new(),
             invariant_period: crate::invariants::period(),
+            skip_cycles: crate::horizon::skip_cycles_from_env(),
+            ticks_executed: 0,
+            skipped_cycles: 0,
+            drain_scratch: Vec::new(),
             telemetry: TelemetryConfig::from_env(),
             events: EventRing::new(1),
         };
@@ -198,6 +230,29 @@ impl Simulation {
     /// The telemetry settings this simulation runs with.
     pub fn telemetry(&self) -> TelemetryConfig {
         self.telemetry
+    }
+
+    /// Overrides the `PPF_NO_SKIP`-derived cycle-skip setting (tests and
+    /// differential harnesses that must not race on process-global
+    /// environment). `false` forces the naive per-cycle loop; results are
+    /// bit-identical either way, only wall-clock time differs.
+    pub fn set_cycle_skip(&mut self, enabled: bool) {
+        self.skip_cycles = enabled;
+    }
+
+    /// Whether the run loop may jump dead cycles.
+    pub fn cycle_skip(&self) -> bool {
+        self.skip_cycles
+    }
+
+    /// Cycle accounting over this simulation's lifetime: executed ticks,
+    /// skipped cycles, and total cycles advanced.
+    pub fn cycle_stats(&self) -> CycleStats {
+        CycleStats {
+            ticks: self.ticks_executed,
+            skipped_cycles: self.skipped_cycles,
+            total_cycles: self.cycle,
+        }
     }
 
     /// The interval-snapshot ring of core `i` (empty unless telemetry was
@@ -263,6 +318,7 @@ impl Simulation {
             measure_end_cycle: None,
             snapshot: None,
             scratch: Vec::new(),
+            next_wake: 0,
             intervals: IntervalRing::new(self.interval_ring_capacity()),
             interval_seq: 0,
         });
@@ -281,11 +337,21 @@ impl Simulation {
         assert_eq!(self.cores.len(), self.cfg.cores, "attach one core per configured core");
         assert!(measure > 0, "measurement region must be non-empty");
         let mut stats_reset = false;
-        // Generous forward-progress bound: no workload sustains a CPI > 2000.
-        let cycle_limit = self.cycle + (warmup + measure) * 2000 + 1_000_000;
+        // Generous forward-progress bound, counted in *executed ticks*
+        // (horizon iterations), not raw cycles: no workload sustains a CPI
+        // over 2000, and an event-horizon jump crosses any number of dead
+        // cycles in a single iteration, so a legitimate long skip cannot
+        // trip the limit. A machine that stops retiring keeps burning
+        // iterations (every executed tick sits on an event or an invariant
+        // boundary) and still hits the assert; the naive per-cycle loop
+        // burns one iteration per cycle, matching the old raw-cycle bound.
+        let iteration_limit = (warmup + measure) * 2000 + 1_000_000;
+        let mut iterations: u64 = 0;
+        let run_start = self.cycle_stats();
 
         while self.cores.iter().any(|c| c.measure_end_cycle.is_none()) {
-            self.tick(warmup, measure);
+            self.cycle += 1;
+            let horizon = self.tick(warmup, measure);
             if !stats_reset && self.cores.iter().all(|c| c.retired >= warmup) {
                 stats_reset = true;
                 for c in &mut self.cores {
@@ -298,8 +364,37 @@ impl Simulation {
                 self.llc.stats.reset();
                 self.dram.stats.reset();
             }
-            assert!(self.cycle < cycle_limit, "simulation failed to make forward progress");
+            iterations += 1;
+            assert!(iterations < iteration_limit, "simulation failed to make forward progress");
+            if self.skip_cycles && self.cores.iter().any(|c| c.measure_end_cycle.is_none()) {
+                // No fill in flight, no deferred queue pending, and every
+                // unfinished core blocked with nothing to wait on: a genuine
+                // deadlock the horizon makes immediately diagnosable (the
+                // naive loop burns iterations until the limit above).
+                assert!(
+                    horizon != u64::MAX,
+                    "simulation failed to make forward progress \
+                     (no pending events, all cores stalled at cycle {})",
+                    self.cycle
+                );
+                debug_assert!(horizon > self.cycle, "horizon must move forward");
+                // Land exactly on the horizon (the loop head's increment
+                // supplies the final +1), never jumping an invariant-check
+                // boundary.
+                let target = horizon
+                    .min(crate::invariants::next_check(self.cycle, self.invariant_period))
+                    .max(self.cycle + 1);
+                self.skipped_cycles += target - 1 - self.cycle;
+                self.cycle = target - 1;
+            }
         }
+
+        let end = self.cycle_stats();
+        crate::horizon::record_global(CycleStats {
+            ticks: end.ticks - run_start.ticks,
+            skipped_cycles: end.skipped_cycles - run_start.skipped_cycles,
+            total_cycles: end.total_cycles - run_start.total_cycles,
+        });
 
         let total_cycles = self
             .cores
@@ -318,15 +413,26 @@ impl Simulation {
         }
     }
 
-    /// Advances the system one cycle.
-    fn tick(&mut self, warmup: u64, measure: u64) {
-        self.cycle += 1;
+    /// Runs one tick at the current cycle (the caller advances
+    /// `self.cycle`) and returns the *event horizon*: the earliest future
+    /// cycle at which any simulated state can change. Every cycle strictly
+    /// between the current one and the horizon is provably a complete no-op
+    /// — no MSHR fill completes, no core can retire, dispatch, or issue,
+    /// and no deferred credit/eviction is pending — so the run loop may
+    /// jump straight to the horizon without altering any observable result.
+    fn tick(&mut self, warmup: u64, measure: u64) -> u64 {
+        self.ticks_executed += 1;
         let cycle = self.cycle;
         let telem = self.telemetry_active();
 
-        // Shared LLC fills.
-        let ready = self.llc_mshr.drain_ready(cycle);
-        for (block, entry) in ready {
+        // Shared LLC fills. A drain frees LLC MSHR capacity and installs
+        // lines that any core's dispatch or issue may be blocked on, so it
+        // wakes every core this tick regardless of their private wake
+        // estimates.
+        let mut ready = std::mem::take(&mut self.drain_scratch);
+        self.llc_mshr.drain_ready_into(cycle, &mut ready);
+        let llc_event = !ready.is_empty();
+        for (block, entry) in ready.drain(..) {
             let kind = if entry.origin == MissOrigin::Prefetch && !entry.demand_merged {
                 FillKind::Prefetch
             } else {
@@ -360,6 +466,7 @@ impl Simulation {
                 }
             }
         }
+        self.drain_scratch = ready;
 
         // Apply deferred useful-prefetch credits. These are late merges, so
         // they count in `late` only (`useful` holds timely prefetches; the
@@ -391,15 +498,58 @@ impl Simulation {
             }
         }
 
+        // Per-core phases, gated on each core's wake cycle. A sleeping
+        // core's tick is a complete no-op — its L2 MSHR has nothing ready,
+        // its ROB head is not complete, and its dispatch/issue are blocked
+        // on conditions only its own activity or an LLC drain can change —
+        // so skipping it is exact, not an approximation. With skipping
+        // disabled every core runs every tick (the naive loop).
+        let run_all = !self.skip_cycles || llc_event;
         for i in 0..self.cores.len() {
+            if !run_all && self.cores[i].next_wake > cycle {
+                continue;
+            }
             self.drain_core_fills(i, cycle);
-            self.retire_and_dispatch(i, cycle, warmup, measure);
-            self.issue_prefetches(i, cycle);
+            let dispatch_wake = self.retire_and_dispatch(i, cycle, warmup, measure);
+            let issue_wake = self.issue_prefetches(i, cycle);
+            let core = &mut self.cores[i];
+            // Retirement is bounded by the ROB head; a width-limited retire
+            // burst is replayed cycle by cycle via the `cycle + 1` clamp.
+            let retire_wake = match core.rob.head_completion() {
+                Some(c) if c != PENDING => c.max(cycle + 1),
+                // Empty, or head pending on memory: the L2 MSHR term below
+                // covers the completing fill.
+                _ => u64::MAX,
+            };
+            core.next_wake = core
+                .l2_mshr
+                .next_ready()
+                .min(retire_wake)
+                .min(dispatch_wake)
+                .min(issue_wake);
+            debug_assert!(core.next_wake > cycle, "a ticked core must wake in the future");
         }
 
         if self.invariant_period != 0 && cycle.is_multiple_of(self.invariant_period) {
             self.enforce_invariants();
         }
+
+        // The event horizon: min over every way the system can next change
+        // state. DRAM contributes no term because it is fully passive —
+        // completions are registered as MSHR `ready_at`s at schedule time
+        // (see `Dram::bus_busy_until`). Telemetry contributes none because
+        // snapshots and events trigger on retirement and on actions, never
+        // on bare cycles; the invariant-check cadence is applied as a bound
+        // by the run loop via `invariants::next_check`.
+        let mut horizon = self.llc_mshr.next_ready();
+        if !self.credits.is_empty() || !self.llc_evictions.is_empty() {
+            // Deferred queues filled this tick are processed next tick.
+            horizon = horizon.min(cycle + 1);
+        }
+        for core in &self.cores {
+            horizon = horizon.min(core.next_wake);
+        }
+        horizon
     }
 
     /// Validates every simulated structure's invariants, returning a
@@ -483,8 +633,9 @@ impl Simulation {
     /// waiters.
     fn drain_core_fills(&mut self, i: usize, cycle: u64) {
         let telem = self.telemetry_active();
-        let ready = self.cores[i].l2_mshr.drain_ready(cycle);
-        for (block, entry) in ready {
+        let mut ready = std::mem::take(&mut self.drain_scratch);
+        self.cores[i].l2_mshr.drain_ready_into(cycle, &mut ready);
+        for (block, entry) in ready.drain(..) {
             let core = &mut self.cores[i];
             let kind = if entry.origin == MissOrigin::Prefetch && !entry.demand_merged {
                 FillKind::Prefetch
@@ -561,10 +712,19 @@ impl Simulation {
                 core.load_miss_wait_cycles += cycle - since;
             }
         }
+        self.drain_scratch = ready;
     }
 
     /// Retires completed work, then dispatches new instructions.
-    fn retire_and_dispatch(&mut self, i: usize, cycle: u64, warmup: u64, measure: u64) {
+    ///
+    /// Returns the earliest cycle at which dispatch could make progress it
+    /// cannot make now — `cycle + 1` when the full fetch width dispatched
+    /// (more work is immediately available), the producer's completion
+    /// cycle for a dependent load waiting on a known-finite completion, and
+    /// `u64::MAX` for stalls that only an MSHR drain can clear (ROB full on
+    /// a pending head, resources exhausted, producer pending): those are
+    /// covered by the L2/LLC `next_ready` horizon terms.
+    fn retire_and_dispatch(&mut self, i: usize, cycle: u64, warmup: u64, measure: u64) -> u64 {
         let retire_width = self.cfg.core.retire_width;
         let fetch_width = self.cfg.core.fetch_width;
         // With the `telemetry` feature off this folds to 0 and the snapshot
@@ -647,8 +807,12 @@ impl Simulation {
             }
         }
 
+        let mut dispatch_wake = cycle + 1;
         for _ in 0..fetch_width {
             if !self.cores[i].rob.has_space() {
+                // Blocked on retirement: the retire-wake term (or, for a
+                // pending head, the L2 MSHR drain) covers resumption.
+                dispatch_wake = u64::MAX;
                 break;
             }
             // Compute instructions between memory records.
@@ -681,8 +845,14 @@ impl Simulation {
                 if let Some(dep) = self.cores[i].last_dep_seq {
                     match self.cores[i].rob.completion_of(dep) {
                         Some(c) if c <= cycle => {}
-                        None => {}          // already retired
-                        _ => break,         // producer outstanding: stall
+                        None => {} // already retired
+                        Some(c) => {
+                            // Producer outstanding: stall. A finite
+                            // completion is a known wake cycle; a pending
+                            // one resolves via the L2 MSHR drain term.
+                            dispatch_wake = if c == PENDING { u64::MAX } else { c };
+                            break;
+                        }
                     }
                 }
             }
@@ -704,9 +874,16 @@ impl Simulation {
                     }
                     core.pending_rec = None;
                 }
-                Demand::Stall => break,
+                Demand::Stall => {
+                    // Resources exhausted: freed only by an L2 drain (demand
+                    // window, L2 MSHRs) or an LLC drain (LLC MSHRs), both
+                    // horizon terms already.
+                    dispatch_wake = u64::MAX;
+                    break;
+                }
             }
         }
+        dispatch_wake
     }
 
     /// Attempts to start the demand access of `rec` for core `i`.
@@ -959,7 +1136,17 @@ impl Simulation {
 
     /// Issues up to the configured number of prefetches from core `i`'s
     /// queue.
-    fn issue_prefetches(&mut self, i: usize, cycle: u64) {
+    ///
+    /// Returns the earliest cycle at which issue could make progress it
+    /// cannot make now — `cycle + 1` when the per-cycle budget ran out with
+    /// work still queued, `u64::MAX` when the queue is empty (dispatch
+    /// refills it, covered by the dispatch wake) or when the head is held
+    /// on MSHR headroom (freed only by an L2 or LLC drain, both horizon
+    /// terms already). The queue head's redundancy status cannot change
+    /// while this core sleeps: its blocks are private (per-core address
+    /// spaces), so only its own activity or an LLC drain — which wakes
+    /// every core — can install or retire them.
+    fn issue_prefetches(&mut self, i: usize, cycle: u64) -> u64 {
         let telem = self.telemetry_active();
         let mut budget = self.cfg.prefetch.issue_per_cycle;
         while budget > 0 {
@@ -1044,6 +1231,14 @@ impl Simulation {
                 }
             }
         }
+        if self.cores[i].pq.is_empty() {
+            u64::MAX
+        } else if budget == 0 {
+            cycle + 1
+        } else {
+            // Held on MSHR headroom: only a drain frees capacity.
+            u64::MAX
+        }
     }
 }
 
@@ -1111,6 +1306,43 @@ mod tests {
         let report =
             run_single_core(small_cfg(), "mcf", trace, Box::new(NoPrefetcher), 5_000, 30_000);
         assert!(report.ipc() < 0.5, "latency-bound IPC should be low, got {}", report.ipc());
+    }
+
+    #[test]
+    fn horizon_skipping_matches_naive_ticking() {
+        let mk = |skip: bool| {
+            let w = Workload::by_name("605.mcf_s").unwrap();
+            let trace = Box::new(TraceBuilder::new(w).seed(7).build());
+            let mut sim = Simulation::new(small_cfg());
+            sim.set_cycle_skip(skip);
+            sim.add_core("mcf", trace, Box::new(StreamAhead));
+            let report = sim.run(5_000, 20_000);
+            (report, sim.cycle_stats())
+        };
+        let (naive, naive_cycles) = mk(false);
+        let (skip, skip_cycles) = mk(true);
+        assert_eq!(naive, skip, "event horizon must be bit-identical to per-cycle ticking");
+        assert_eq!(naive_cycles.total_cycles, skip_cycles.total_cycles);
+        assert_eq!(naive_cycles.skipped_cycles, 0);
+        assert!(
+            skip_cycles.skipped_cycles > 0,
+            "a latency-bound pointer chase must have skippable dead time"
+        );
+        assert_eq!(
+            skip_cycles.ticks + skip_cycles.skipped_cycles,
+            skip_cycles.total_cycles,
+            "every cycle is either executed or skipped"
+        );
+    }
+
+    #[test]
+    fn cycle_skip_env_override_is_programmatic() {
+        let mut sim = Simulation::new(small_cfg());
+        let from_env = sim.cycle_skip();
+        sim.set_cycle_skip(!from_env);
+        assert_eq!(sim.cycle_skip(), !from_env);
+        sim.set_cycle_skip(from_env);
+        assert_eq!(sim.cycle_skip(), from_env);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 # test suite + fault-tolerance drill.
 #
 #   scripts/verify.sh             # build + clippy + tests + fault drill
-#                                 #   + telemetry gate
+#                                 #   + horizon gate + telemetry gate
 #   scripts/verify.sh --quick     # ... + fig09 smoke run with throughput
 #   scripts/verify.sh --bench     # ... + hot-path micro-benchmarks and the
 #                                 #       throughput comparison table
@@ -11,6 +11,10 @@
 #   scripts/verify.sh --telemetry # telemetry gate only
 #   scripts/verify.sh --simd      # SIMD gate only: tier-1 tests twice
 #                                 #   (default dispatch, then PPF_NO_SIMD=1)
+#   scripts/verify.sh --horizon   # horizon gate only: fig09 --quick stdout
+#                                 #   must be byte-identical with cycle
+#                                 #   skipping on (default) and off
+#                                 #   (PPF_NO_SKIP=1)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -72,6 +76,41 @@ run_simd_gate() {
     echo "simd gate: OK (portable fallback passes the full suite)"
 }
 
+# Horizon gate: the event-horizon run loop must be observationally exact.
+# Runs the fig09 sweep twice — cycle skipping on (the default) and off
+# (PPF_NO_SKIP=1) — and byte-compares the stdout tables, then re-runs the
+# golden layout digests with skipping disabled so both loop shapes are
+# pinned to the same blessed results.
+run_horizon_gate() {
+    echo "== horizon gate: fig09 --quick, skip vs PPF_NO_SKIP=1 =="
+    hz_dir="$(mktemp -d)"
+    hz_bin="$(pwd)/target/release/fig09_single_core"
+    # Run from the temp dir so the gate's throughput records land there
+    # (and are deleted) instead of polluting results/bench_throughput.json
+    # with A/B artifacts.
+    ( cd "$hz_dir" && PPF_CHECKPOINT_DIR="$hz_dir/skip" \
+        "$hz_bin" --quick > "$hz_dir/skip.out" 2>/dev/null ) \
+        || { echo "horizon gate: fig09 (skip mode) failed"; rm -rf "$hz_dir"; exit 1; }
+    ( cd "$hz_dir" && PPF_NO_SKIP=1 PPF_CHECKPOINT_DIR="$hz_dir/naive" \
+        "$hz_bin" --quick > "$hz_dir/naive.out" 2>/dev/null ) \
+        || { echo "horizon gate: fig09 (naive mode) failed"; rm -rf "$hz_dir"; exit 1; }
+    cmp -s "$hz_dir/skip.out" "$hz_dir/naive.out" \
+        || { echo "horizon gate: stdout differs between skip and naive modes"; \
+             diff "$hz_dir/naive.out" "$hz_dir/skip.out" | head -20; \
+             rm -rf "$hz_dir"; exit 1; }
+    rm -rf "$hz_dir"
+    echo "== horizon gate: golden layout digests with PPF_NO_SKIP=1 =="
+    PPF_NO_SKIP=1 cargo test -q -p ppf-bench --test layout_golden
+    echo "horizon gate: OK (both loop shapes byte-identical)"
+}
+
+if [ "$mode" = "--horizon" ]; then
+    cargo build --release -q -p ppf-bench
+    run_horizon_gate
+    echo "verify: OK"
+    exit 0
+fi
+
 if [ "$mode" = "--simd" ]; then
     echo "== cargo test -q --workspace (default SIMD dispatch) =="
     cargo test -q --workspace
@@ -104,6 +143,8 @@ cargo test -q --workspace
 run_simd_gate
 
 run_fault_drill
+
+run_horizon_gate
 
 if [ "$mode" = "--quick" ] || [ "$mode" = "--bench" ]; then
     echo "== fig09 smoke run (--quick) =="

@@ -9,6 +9,8 @@
 //! * [`histogram`] — trained-weight distributions (Figure 6),
 //! * [`interval`] — interval-telemetry JSONL ingestion: parse, schema
 //!   validation, per-interval differencing, and phase tables,
+//! * [`serve`] — serving-telemetry ingestion: daemon counter snapshots,
+//!   chaos-drill reports, and latency reconstruction from log2 buckets,
 //! * [`render`] — aligned tables, bar charts and sorted-series plots used by
 //!   the experiment binaries to print paper-style figures in a terminal.
 //!
@@ -24,6 +26,7 @@ pub mod histogram;
 pub mod interval;
 pub mod pearson;
 pub mod render;
+pub mod serve;
 pub mod stats;
 
 pub use histogram::WeightHistogram;

@@ -9,10 +9,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod ckpt;
+pub mod fault;
 pub mod runner;
 pub mod sweep;
 pub mod telemetry;
 pub mod throughput;
+pub mod watchdog;
 
 use ppf::{Ppf, PpfConfig};
 use ppf_prefetchers::{Bop, DaAmpm, Spp, SppConfig};

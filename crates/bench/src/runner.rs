@@ -24,12 +24,14 @@
 //! limit is marked [`FailReason::TimedOut`] and the sweep moves on. The hung
 //! job's thread is abandoned (Rust cannot kill a thread) and dies with the
 //! process — acceptable for a CLI sweep, which is why the watchdog is
-//! opt-in.
+//! opt-in. The deadline machinery itself lives in [`crate::watchdog`],
+//! shared with the serving daemon's shard supervision.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+pub use crate::watchdog::job_timeout;
 
 /// Locks a mutex, recovering the guard from a poisoned lock.
 ///
@@ -143,51 +145,6 @@ fn parse_count(v: &str, source: &str) -> Result<usize, String> {
     }
 }
 
-/// Resolves the per-job watchdog timeout: `--job-timeout N` (seconds, also
-/// `--job-timeout=N`), then `PPF_JOB_TIMEOUT=N`, then `None` (watchdog off).
-///
-/// Malformed values are rejected with exit code 2, like [`thread_count`].
-pub fn job_timeout() -> Option<Duration> {
-    match resolve_timeout(
-        std::env::args().skip(1),
-        std::env::var("PPF_JOB_TIMEOUT").ok().as_deref(),
-    ) {
-        Ok(t) => t,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(2);
-        }
-    }
-}
-
-fn resolve_timeout(
-    mut args: impl Iterator<Item = String>,
-    env: Option<&str>,
-) -> Result<Option<Duration>, String> {
-    while let Some(a) = args.next() {
-        if a == "--job-timeout" {
-            let v = args.next().ok_or_else(|| {
-                "--job-timeout requires a value in seconds (e.g. --job-timeout 600)".to_string()
-            })?;
-            return parse_timeout(&v, "--job-timeout").map(Some);
-        } else if let Some(v) = a.strip_prefix("--job-timeout=") {
-            return parse_timeout(v, "--job-timeout").map(Some);
-        }
-    }
-    match env {
-        Some(v) => parse_timeout(v, "PPF_JOB_TIMEOUT").map(Some),
-        None => Ok(None),
-    }
-}
-
-fn parse_timeout(v: &str, source: &str) -> Result<Duration, String> {
-    match v.parse::<f64>() {
-        Ok(s) if s > 0.0 && s.is_finite() => Ok(Duration::from_secs_f64(s)),
-        Ok(_) => Err(format!("{source} must be a positive number of seconds, got `{v}`")),
-        Err(_) => Err(format!("{source} expects a number of seconds, got `{v}`")),
-    }
-}
-
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -199,7 +156,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Runs `f` with panic isolation, converting an unwind into a [`JobError`].
-fn guard<T>(label: &str, f: impl FnOnce() -> T) -> Outcome<T> {
+pub(crate) fn guard<T>(label: &str, f: impl FnOnce() -> T) -> Outcome<T> {
     let t0 = Instant::now();
     catch_unwind(AssertUnwindSafe(f)).map_err(|payload| JobError {
         label: label.to_string(),
@@ -293,41 +250,6 @@ where
 /// watchdog hand the job to an abandonable thread).
 pub type BoxedJob<T> = Box<dyn FnOnce() -> T + Send + 'static>;
 
-/// Runs a job on a disposable thread and waits at most `limit` for it.
-fn watchdog<T: Send + 'static>(label: &str, job: BoxedJob<T>, limit: Duration) -> Outcome<T> {
-    let t0 = Instant::now();
-    let (tx, rx) = mpsc::channel::<Outcome<T>>();
-    let owned = label.to_string();
-    let spawned = std::thread::Builder::new()
-        .name(format!("ppf-job {label}"))
-        .spawn(move || {
-            let _ = tx.send(guard(&owned, job));
-        });
-    if spawned.is_err() {
-        return Err(JobError {
-            label: label.to_string(),
-            reason: FailReason::Panicked("could not spawn watchdog job thread".into()),
-            wall: t0.elapsed(),
-        });
-    }
-    match rx.recv_timeout(limit) {
-        Ok(outcome) => outcome,
-        Err(mpsc::RecvTimeoutError::Timeout) => Err(JobError {
-            label: label.to_string(),
-            reason: FailReason::TimedOut(limit),
-            wall: t0.elapsed(),
-        }),
-        // The sender dropped without sending: only possible if the job
-        // thread died outside catch_unwind (e.g. a non-unwinding abort would
-        // have taken the process with it, so treat this as a panic).
-        Err(mpsc::RecvTimeoutError::Disconnected) => Err(JobError {
-            label: label.to_string(),
-            reason: FailReason::Panicked("job thread exited without a result".into()),
-            wall: t0.elapsed(),
-        }),
-    }
-}
-
 /// Runs boxed jobs with panic isolation, an optional per-job watchdog, and a
 /// per-completion hook — the engine under the sweep driver.
 ///
@@ -349,7 +271,9 @@ pub fn run_watched<T: Send + 'static>(
         ),
         Some(limit) => drive(
             jobs.into_iter()
-                .map(|(label, f)| (label, move |l: &str| watchdog(l, f, limit)))
+                .map(|(label, f)| {
+                    (label, move |l: &str| crate::watchdog::run_with_deadline(l, f, limit))
+                })
                 .collect(),
             threads,
             on_complete,
@@ -540,6 +464,7 @@ mod tests {
 
     #[test]
     fn timeout_arg_parsing() {
+        use crate::watchdog::resolve_timeout;
         assert_eq!(
             resolve_timeout(strings(&["--job-timeout", "30"]), None),
             Ok(Some(Duration::from_secs(30)))

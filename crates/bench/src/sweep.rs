@@ -21,6 +21,8 @@
 //! sweep summary ([`SweepOutcome::report`]) goes to stderr; experiment
 //! stdout stays byte-identical to the pre-checkpoint harness on clean runs.
 
+use crate::ckpt;
+use crate::fault::FaultSpec;
 use crate::runner::{self, lock_unpoisoned, BoxedJob, JobError, Outcome};
 use ppf_sim::{CacheStats, CoreReport, DramStats, PrefetchStats, SimReport};
 use std::fs::{self, File, OpenOptions};
@@ -32,7 +34,8 @@ use std::time::Duration;
 
 /// Checkpoint record schema version (bump on incompatible format changes;
 /// old-version records are ignored on resume, so the jobs simply re-run).
-pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+/// v2 added the CRC seal ([`ckpt::seal`]) on every record.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 2;
 
 /// A value that can round-trip through a checkpoint record.
 ///
@@ -238,10 +241,13 @@ fn json_str_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
 
 fn format_record(experiment: &str, key: &str, wall: Duration, data: &str) -> String {
     debug_assert!(!experiment.contains(['"', '\\']) && !key.contains(['"', '\\']));
-    format!(
-        "{{\"v\":{CHECKPOINT_SCHEMA_VERSION},\"experiment\":\"{experiment}\",\"key\":\"{key}\",\"wall_ms\":{},\"data\":\"{data}\"}}\n",
+    let body = format!(
+        "{{\"v\":{CHECKPOINT_SCHEMA_VERSION},\"experiment\":\"{experiment}\",\"key\":\"{key}\",\"wall_ms\":{},\"data\":\"{data}\"}}",
         wall.as_millis()
-    )
+    );
+    let mut line = ckpt::seal(&body);
+    line.push('\n');
+    line
 }
 
 /// A checkpointed, fault-isolated experiment sweep.
@@ -261,6 +267,7 @@ pub struct Sweep {
     resume: bool,
     dir: PathBuf,
     opened: AtomicBool,
+    faults: Vec<FaultSpec>,
 }
 
 /// One job's bookkeeping inside [`Sweep::run`].
@@ -274,17 +281,23 @@ enum Slot<T> {
 impl Sweep {
     /// Builds a sweep from CLI flags and the environment (the normal
     /// entry point for experiment binaries).
+    ///
+    /// A malformed `PPF_FAULT_INJECT` spec exits with code 2 here, like a
+    /// malformed `--threads` — a drill that would silently inject nothing
+    /// is a configuration error, not a degraded run.
     pub fn from_args(experiment: &str) -> Self {
         let dir = std::env::var("PPF_CHECKPOINT_DIR")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("results/checkpoints"));
-        Self::new(
+        let mut sweep = Self::new(
             experiment,
             runner::thread_count(),
             runner::job_timeout(),
             std::env::args().any(|a| a == "--resume"),
             dir,
-        )
+        );
+        sweep.faults = crate::fault::specs_from_env_or_exit();
+        sweep
     }
 
     /// A sweep writing checkpoints under a unique temp directory, never
@@ -296,7 +309,9 @@ impl Sweep {
         Self::new(experiment, threads, None, false, dir)
     }
 
-    /// Fully explicit constructor (tests, embedding).
+    /// Fully explicit constructor (tests, embedding). Fault specs still
+    /// come from `PPF_FAULT_INJECT`; in this library path a malformed spec
+    /// is reported and ignored rather than fatal.
     pub fn new(
         experiment: &str,
         threads: usize,
@@ -304,6 +319,10 @@ impl Sweep {
         resume: bool,
         dir: impl Into<PathBuf>,
     ) -> Self {
+        let faults = crate::fault::specs_from_env().unwrap_or_else(|msg| {
+            eprintln!("warning: {msg}; ignoring fault injection");
+            Vec::new()
+        });
         Self {
             experiment: experiment.to_string(),
             threads,
@@ -311,6 +330,7 @@ impl Sweep {
             resume,
             dir: dir.into(),
             opened: AtomicBool::new(false),
+            faults,
         }
     }
 
@@ -336,13 +356,39 @@ impl Sweep {
 
     /// Loads `key -> payload` for this experiment from the checkpoint file
     /// (last record per key wins; foreign or unparsable lines are skipped).
+    ///
+    /// Crash artifacts are tolerated, never fatal: a torn final line (the
+    /// process died mid-append) and records failing their CRC seal are
+    /// logged and dropped, so only the affected jobs re-run.
     fn load_completed(&self) -> std::collections::HashMap<String, String> {
         let mut done = std::collections::HashMap::new();
-        let Ok(text) = fs::read_to_string(self.checkpoint_path()) else {
-            return done;
+        let path = self.checkpoint_path();
+        let load = match ckpt::load_tolerant(&path) {
+            Ok(load) => load,
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot read checkpoint file {}: {e}; all jobs will re-run",
+                    path.display()
+                );
+                return done;
+            }
         };
+        if load.torn_tail {
+            eprintln!(
+                "[sweep] {}: dropping torn trailing checkpoint record (crash mid-append); \
+                 the affected job will re-run",
+                self.experiment
+            );
+        }
+        if load.dropped_crc > 0 {
+            eprintln!(
+                "[sweep] {}: dropping {} checkpoint record(s) failing their CRC seal; \
+                 the affected jobs will re-run",
+                self.experiment, load.dropped_crc
+            );
+        }
         let version_tag = format!("\"v\":{CHECKPOINT_SCHEMA_VERSION},");
-        for line in text.lines() {
+        for line in &load.lines {
             if !line.contains(&version_tag) {
                 continue;
             }
@@ -390,28 +436,28 @@ impl Sweep {
         }
     }
 
-    /// Replaces the first pending job whose label contains the
-    /// `PPF_FAULT_INJECT` pattern with a saboteur (`panic:` or `hang:`).
+    /// Applies the sweep-relevant `PPF_FAULT_INJECT` specs: each `panic:` /
+    /// `hang:` directive sabotages the first pending job whose label
+    /// contains its pattern. Serving-side fault kinds are ignored here.
     fn inject_fault<T: Send + 'static>(&self, pending: &mut [(String, BoxedJob<T>)]) {
-        let Ok(spec) = std::env::var("PPF_FAULT_INJECT") else { return };
-        let Some((kind, pat)) = spec.split_once(':') else {
-            eprintln!("warning: PPF_FAULT_INJECT expects panic:<substr> or hang:<substr>");
-            return;
-        };
-        let Some((label, job)) = pending.iter_mut().find(|(l, _)| l.contains(pat)) else {
-            return;
-        };
-        let l = label.clone();
-        match kind {
-            "panic" => {
-                *job = Box::new(move || panic!("injected fault (PPF_FAULT_INJECT) in {l}"));
-            }
-            "hang" => {
-                *job = Box::new(move || loop {
+        for spec in &self.faults {
+            let (pat, hang) = match spec {
+                FaultSpec::JobPanic(pat) => (pat, false),
+                FaultSpec::JobHang(pat) => (pat, true),
+                _ => continue,
+            };
+            let Some((label, job)) = pending.iter_mut().find(|(l, _)| l.contains(pat.as_str()))
+            else {
+                continue;
+            };
+            let l = label.clone();
+            *job = if hang {
+                Box::new(move || loop {
                     std::thread::sleep(Duration::from_secs(3600));
-                });
-            }
-            other => eprintln!("warning: unknown PPF_FAULT_INJECT kind `{other}`"),
+                })
+            } else {
+                Box::new(move || panic!("injected fault (PPF_FAULT_INJECT) in {l}"))
+            };
         }
     }
 
@@ -640,6 +686,63 @@ mod tests {
         assert_eq!(out.resumed, 1);
         let values: Vec<f64> = out.into_outcomes().into_iter().map(Result::unwrap).collect();
         assert_eq!(values, vec![4.0, 5.0]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_tolerates_torn_final_line() {
+        // A crash mid-append leaves the last record truncated with no
+        // newline. Resume must drop exactly that record and re-run only its
+        // job — never fail the whole resume.
+        let dir = temp_dir("torn");
+        let first = Sweep::new("exp", 1, None, false, &dir);
+        let out = first.run(vec![
+            ("a".to_string(), boxed(|| 1.0f64)),
+            ("b".to_string(), boxed(|| 2.0f64)),
+        ]);
+        assert_eq!(out.ok_count(), 2);
+        // Truncate the file mid-way through the final record.
+        let path = first.checkpoint_path();
+        let text = fs::read_to_string(&path).unwrap();
+        let cut = text.trim_end().len() - 7;
+        fs::write(&path, &text[..cut]).unwrap();
+
+        let resumed = Sweep::new("exp", 1, None, true, &dir);
+        let out = resumed.run(vec![
+            ("a".to_string(), boxed(|| -> f64 { panic!("a must resume") })),
+            ("b".to_string(), boxed(|| 20.0f64)),
+        ]);
+        assert_eq!(out.resumed, 1, "intact record resumes, torn one re-runs");
+        let values: Vec<f64> = out.into_outcomes().into_iter().map(Result::unwrap).collect();
+        assert_eq!(values, vec![1.0, 20.0]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_drops_record_failing_its_crc_seal() {
+        let dir = temp_dir("bitflip");
+        let first = Sweep::new("exp", 1, None, false, &dir);
+        let out = first.run(vec![
+            ("a".to_string(), boxed(|| 1.0f64)),
+            ("b".to_string(), boxed(|| 2.0f64)),
+        ]);
+        assert_eq!(out.ok_count(), 2);
+        // Flip one payload bit in record "a" (2.0 and 1.0 encode to hex
+        // payloads differing in the exponent byte; corrupt a data nibble).
+        let path = first.checkpoint_path();
+        let text = fs::read_to_string(&path).unwrap();
+        let corrupt = text.replacen(&1.0f64.encode(), &3.0f64.encode(), 1);
+        assert_ne!(corrupt, text, "the first record must contain its payload");
+        fs::write(&path, corrupt).unwrap();
+
+        let resumed = Sweep::new("exp", 1, None, true, &dir);
+        let out = resumed.run(vec![
+            ("a".to_string(), boxed(|| 10.0f64)),
+            ("b".to_string(), boxed(|| -> f64 { panic!("b must resume") })),
+        ]);
+        assert_eq!(out.resumed, 1, "sealed record resumes, corrupted one re-runs");
+        let values: Vec<f64> = out.into_outcomes().into_iter().map(Result::unwrap).collect();
+        assert_eq!(values, vec![10.0, 2.0]);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,276 @@
+//! Watchdog machinery shared by sweeps and serving.
+//!
+//! PR 3 gave the sweep runner a per-job watchdog (`--job-timeout` /
+//! `PPF_JOB_TIMEOUT`): run the job on a disposable thread, wait a bounded
+//! time, abandon it on overrun. The serving daemon needs the same policy at
+//! a different granularity — a *shard* that stops making progress must be
+//! detected and replaced without stalling callers. This module holds both:
+//!
+//! * [`run_with_deadline`] — the one-shot form: execute a boxed job with
+//!   panic isolation on an abandonable thread, bounded by a limit. The
+//!   sweep runner's watchdog path delegates here.
+//! * [`Watchdog`] + [`Heartbeat`] — the continuous form: long-lived workers
+//!   register a heartbeat and beat it every loop iteration; a supervisor
+//!   polls [`Watchdog::stalled`] and replaces whatever went quiet.
+//!
+//! Timeout *resolution* (`--job-timeout N`, `PPF_JOB_TIMEOUT`) also lives
+//! here, re-exported through [`crate::runner`] for existing callers.
+
+use crate::runner::{BoxedJob, FailReason, JobError, Outcome};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Resolves the per-job watchdog timeout: `--job-timeout N` (seconds, also
+/// `--job-timeout=N`), then `PPF_JOB_TIMEOUT=N`, then `None` (watchdog off).
+///
+/// Malformed values are rejected with exit code 2, like
+/// [`crate::runner::thread_count`].
+pub fn job_timeout() -> Option<Duration> {
+    match resolve_timeout(
+        std::env::args().skip(1),
+        std::env::var("PPF_JOB_TIMEOUT").ok().as_deref(),
+    ) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Pure core of [`job_timeout`] (tests inject args/env).
+pub(crate) fn resolve_timeout(
+    mut args: impl Iterator<Item = String>,
+    env: Option<&str>,
+) -> Result<Option<Duration>, String> {
+    while let Some(a) = args.next() {
+        if a == "--job-timeout" {
+            let v = args.next().ok_or_else(|| {
+                "--job-timeout requires a value in seconds (e.g. --job-timeout 600)".to_string()
+            })?;
+            return parse_timeout(&v, "--job-timeout").map(Some);
+        } else if let Some(v) = a.strip_prefix("--job-timeout=") {
+            return parse_timeout(v, "--job-timeout").map(Some);
+        }
+    }
+    match env {
+        Some(v) => parse_timeout(v, "PPF_JOB_TIMEOUT").map(Some),
+        None => Ok(None),
+    }
+}
+
+fn parse_timeout(v: &str, source: &str) -> Result<Duration, String> {
+    match v.parse::<f64>() {
+        Ok(s) if s > 0.0 && s.is_finite() => Ok(Duration::from_secs_f64(s)),
+        Ok(_) => Err(format!("{source} must be a positive number of seconds, got `{v}`")),
+        Err(_) => Err(format!("{source} expects a number of seconds, got `{v}`")),
+    }
+}
+
+/// Runs a job on a disposable thread and waits at most `limit` for it.
+///
+/// On overrun the job's thread is abandoned (Rust cannot kill a thread) and
+/// dies with the process; the caller gets [`FailReason::TimedOut`] and moves
+/// on. Panics inside the job are isolated and surface as
+/// [`FailReason::Panicked`].
+pub fn run_with_deadline<T: Send + 'static>(
+    label: &str,
+    job: BoxedJob<T>,
+    limit: Duration,
+) -> Outcome<T> {
+    let t0 = Instant::now();
+    let (tx, rx) = std::sync::mpsc::channel::<Outcome<T>>();
+    let owned = label.to_string();
+    let spawned = std::thread::Builder::new().name(format!("ppf-job {label}")).spawn(move || {
+        let _ = tx.send(crate::runner::guard(&owned, job));
+    });
+    if spawned.is_err() {
+        return Err(JobError {
+            label: label.to_string(),
+            reason: FailReason::Panicked("could not spawn watchdog job thread".into()),
+            wall: t0.elapsed(),
+        });
+    }
+    match rx.recv_timeout(limit) {
+        Ok(outcome) => outcome,
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Err(JobError {
+            label: label.to_string(),
+            reason: FailReason::TimedOut(limit),
+            wall: t0.elapsed(),
+        }),
+        // The sender dropped without sending: only possible if the job
+        // thread died outside catch_unwind (e.g. a non-unwinding abort would
+        // have taken the process with it, so treat this as a panic).
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Err(JobError {
+            label: label.to_string(),
+            reason: FailReason::Panicked("job thread exited without a result".into()),
+            wall: t0.elapsed(),
+        }),
+    }
+}
+
+/// Sentinel for "never beat yet": participants start stalled-from-birth
+/// *only* after the limit elapses from registration, so a worker that
+/// dies before its first beat is still caught.
+const NEVER: u64 = u64::MAX;
+
+/// A worker's liveness signal. Cheap to beat (one relaxed atomic store);
+/// clone-free hand-off to the worker thread.
+#[derive(Debug)]
+pub struct Heartbeat {
+    last_beat_micros: Arc<AtomicU64>,
+    epoch: Instant,
+}
+
+impl Heartbeat {
+    /// Marks the worker alive *now*. Call once per work-loop iteration.
+    pub fn beat(&self) {
+        let t = self.epoch.elapsed().as_micros() as u64;
+        self.last_beat_micros.store(t, Ordering::Relaxed);
+    }
+}
+
+/// One registered participant.
+#[derive(Debug)]
+struct Participant {
+    name: String,
+    last_beat_micros: Arc<AtomicU64>,
+    registered_micros: u64,
+}
+
+/// A heartbeat registry for long-lived workers (serving shards).
+///
+/// Workers [`register`](Watchdog::register) once and beat every iteration;
+/// a supervisor polls [`stalled`](Watchdog::stalled). Registering a name
+/// again (a replaced shard) supersedes the old entry, so an abandoned
+/// worker cannot keep its slot alive or keep it stalled.
+#[derive(Debug)]
+pub struct Watchdog {
+    limit: Duration,
+    epoch: Instant,
+    parts: Mutex<Vec<Participant>>,
+}
+
+impl Watchdog {
+    /// A watchdog flagging any participant quiet for longer than `limit`.
+    pub fn new(limit: Duration) -> Self {
+        Self { limit, epoch: Instant::now(), parts: Mutex::new(Vec::new()) }
+    }
+
+    /// The stall limit.
+    pub fn limit(&self) -> Duration {
+        self.limit
+    }
+
+    /// Registers (or replaces) a named participant and returns its
+    /// heartbeat handle.
+    pub fn register(&self, name: &str) -> Heartbeat {
+        let cell = Arc::new(AtomicU64::new(NEVER));
+        let mut parts = crate::runner::lock_unpoisoned(&self.parts);
+        parts.retain(|p| p.name != name);
+        parts.push(Participant {
+            name: name.to_string(),
+            last_beat_micros: Arc::clone(&cell),
+            registered_micros: self.epoch.elapsed().as_micros() as u64,
+        });
+        Heartbeat { last_beat_micros: cell, epoch: self.epoch }
+    }
+
+    /// Removes a participant (clean worker shutdown).
+    pub fn deregister(&self, name: &str) {
+        crate::runner::lock_unpoisoned(&self.parts).retain(|p| p.name != name);
+    }
+
+    /// Every participant whose last beat (or registration, if it never
+    /// beat) is older than the limit, with how long it has been quiet.
+    pub fn stalled(&self) -> Vec<(String, Duration)> {
+        let now = self.epoch.elapsed().as_micros() as u64;
+        let limit = self.limit.as_micros() as u64;
+        crate::runner::lock_unpoisoned(&self.parts)
+            .iter()
+            .filter_map(|p| {
+                let last = match p.last_beat_micros.load(Ordering::Relaxed) {
+                    NEVER => p.registered_micros,
+                    t => t,
+                };
+                let quiet = now.saturating_sub(last);
+                (quiet > limit).then(|| (p.name.clone(), Duration::from_micros(quiet)))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beating_workers_are_not_stalled() {
+        let wd = Watchdog::new(Duration::from_millis(40));
+        let hb = wd.register("shard-0");
+        hb.beat();
+        assert!(wd.stalled().is_empty());
+        assert_eq!(wd.limit(), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn quiet_worker_is_flagged_and_replacement_clears_it() {
+        let wd = Watchdog::new(Duration::from_millis(20));
+        let hb = wd.register("shard-1");
+        hb.beat();
+        std::thread::sleep(Duration::from_millis(60));
+        let stalled = wd.stalled();
+        assert_eq!(stalled.len(), 1);
+        assert_eq!(stalled[0].0, "shard-1");
+        assert!(stalled[0].1 >= Duration::from_millis(20));
+        // Replacing the shard supersedes the stalled entry.
+        let hb2 = wd.register("shard-1");
+        hb2.beat();
+        assert!(wd.stalled().is_empty());
+        // The old handle no longer resurrects the entry.
+        hb.beat();
+        assert!(wd.stalled().is_empty());
+    }
+
+    #[test]
+    fn never_beating_worker_stalls_after_limit() {
+        let wd = Watchdog::new(Duration::from_millis(15));
+        let _hb = wd.register("shard-2");
+        assert!(wd.stalled().is_empty(), "not stalled at birth");
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(wd.stalled().len(), 1);
+        wd.deregister("shard-2");
+        assert!(wd.stalled().is_empty());
+    }
+
+    #[test]
+    fn run_with_deadline_times_out_and_passes_fast_jobs() {
+        let fast = run_with_deadline("fast", Box::new(|| 42u32), Duration::from_secs(30));
+        assert_eq!(*fast.as_ref().unwrap(), 42);
+        let hung = run_with_deadline(
+            "hung",
+            Box::new(|| {
+                std::thread::sleep(Duration::from_secs(60));
+                0u32
+            }),
+            Duration::from_millis(40),
+        );
+        let e = hung.expect_err("must time out");
+        assert!(matches!(e.reason, FailReason::TimedOut(_)));
+    }
+
+    fn strings(v: &[&str]) -> impl Iterator<Item = String> + use<> {
+        v.iter().map(|s| s.to_string()).collect::<Vec<_>>().into_iter()
+    }
+
+    #[test]
+    fn timeout_resolution_still_parses() {
+        assert_eq!(
+            resolve_timeout(strings(&["--job-timeout", "30"]), None),
+            Ok(Some(Duration::from_secs(30)))
+        );
+        assert_eq!(resolve_timeout(strings(&[]), Some("1.5")), Ok(Some(Duration::from_millis(1500))));
+        assert!(resolve_timeout(strings(&["--job-timeout", "-1"]), None).is_err());
+    }
+}

@@ -142,8 +142,8 @@ fn resume_skips_completed_jobs_and_is_bit_identical() {
 }
 
 /// NaN survives the checkpoint round trip with its exact payload (a plain
-/// `{}` format would lose it); the checkpoint file itself carries the schema
-/// version tag.
+/// `{}` format would lose it); the checkpoint file itself carries the CRC
+/// seal and the schema version tag.
 #[test]
 fn checkpoint_file_is_versioned_and_nan_safe() {
     let dir = tmp_dir("schema");
@@ -156,7 +156,12 @@ fn checkpoint_file_is_versioned_and_nan_safe() {
     }
     let path = dir.join(format!("{experiment}.jsonl"));
     let text = std::fs::read_to_string(&path).expect("checkpoint written");
-    assert!(text.starts_with("{\"v\":1,"), "schema version tag missing: {text}");
+    assert!(text.starts_with("{\"crc\":\""), "CRC seal missing: {text}");
+    assert!(text.contains("\"v\":2,"), "schema version tag missing: {text}");
+    assert!(
+        ppf_bench::ckpt::check(text.lines().next().unwrap()).is_ok(),
+        "seal must verify: {text}"
+    );
     {
         let sweep = Sweep::new(experiment, 1, None, true, dir.clone());
         let out = sweep.run(vec![(

@@ -283,6 +283,46 @@ impl PpfFilter {
         self.prefetch_table.lookup(block_number(addr)).map(|e| e.inputs.depth)
     }
 
+    /// FNV-1a digest of the weight arena (see
+    /// [`Perceptron::weights_digest`]).
+    pub fn weights_digest(&self) -> u64 {
+        self.perceptron.weights_digest()
+    }
+
+    /// Takes an *epoch-barrier checkpoint*: snapshots the weights and clears
+    /// both metadata tables.
+    ///
+    /// A filter restored from a weight checkpoint necessarily starts with
+    /// empty Prefetch/Reject tables (their in-flight entries died with the
+    /// process). Clearing the live filter's tables at the same boundary
+    /// makes recovery *bit-exact by construction*: the post-barrier decision
+    /// and training stream of an uninterrupted filter is identical to that
+    /// of one restarted from the checkpoint. The cost is dropping feedback
+    /// attribution for candidates in flight at the barrier — bounded by the
+    /// checkpoint cadence, and fail-open (unattributed candidates simply
+    /// don't train).
+    pub fn checkpoint_barrier(&mut self) -> Vec<u8> {
+        let weights = self.perceptron.save_weights();
+        self.prefetch_table.clear();
+        self.reject_table.clear();
+        weights
+    }
+
+    /// Warm-starts the filter from a [`PpfFilter::checkpoint_barrier`]
+    /// snapshot: loads the weights and clears the metadata tables, restoring
+    /// exactly the post-barrier state of the filter that took the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Perceptron::load_weights`] errors (the filter is left
+    /// untouched on error).
+    pub fn warm_start(&mut self, weights: &[u8]) -> Result<(), String> {
+        self.perceptron.load_weights(weights)?;
+        self.prefetch_table.clear();
+        self.reject_table.clear();
+        Ok(())
+    }
+
     /// Hashes every feature and maps the hashes to weight-arena positions —
     /// the indices the whole inference/record/train cycle reuses. Inline
     /// ([`IndexList`]), so no heap allocation.
@@ -736,6 +776,67 @@ mod tests {
         assert!(seq.stats.replacement_trains > 0, "tiny tables must displace-train");
         assert_eq!(seq.stats, bat.stats);
         assert_eq!(seq.save_weights(), bat.save_weights());
+    }
+
+    /// Drives a filter through a deterministic infer/record/feedback stream
+    /// and folds every decision into a digest.
+    fn drive_stream(f: &mut PpfFilter, lo: u64, hi: u64) -> u64 {
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        for n in lo..hi {
+            let addr = 0x40_000 + (n * 64) % 16_384 + (n % 5) * 0x20_000;
+            let i = inputs(addr, (n % 100) as u8);
+            let (d, sum, idxs) = f.infer_indexed(&i);
+            f.record_indexed(addr, i, idxs, sum, d);
+            digest ^= (d as u64).wrapping_add(sum as u64).rotate_left((n % 63) as u32);
+            digest = digest.wrapping_mul(0x100_0000_01b3);
+            if n % 3 == 0 {
+                f.train_on_demand(addr);
+            }
+            if n % 4 == 1 {
+                f.train_on_eviction(addr, false);
+            }
+        }
+        digest
+    }
+
+    #[test]
+    fn checkpoint_barrier_makes_warm_start_bit_exact() {
+        // Uninterrupted filter: stream A, barrier, stream B.
+        let mut live = PpfFilter::default();
+        drive_stream(&mut live, 0, 500);
+        let snapshot = live.checkpoint_barrier();
+        let live_digest_at_barrier = live.weights_digest();
+        let live_decisions = drive_stream(&mut live, 500, 1000);
+
+        // Restarted filter: warm-start from the snapshot, stream B.
+        let mut restarted = PpfFilter::default();
+        restarted.warm_start(&snapshot).expect("snapshot restores");
+        assert_eq!(restarted.weights_digest(), live_digest_at_barrier);
+        let restarted_decisions = drive_stream(&mut restarted, 500, 1000);
+
+        assert_eq!(live_decisions, restarted_decisions, "post-barrier decision streams diverge");
+        assert_eq!(live.weights_digest(), restarted.weights_digest());
+        assert_eq!(live.save_weights(), restarted.save_weights());
+    }
+
+    #[test]
+    fn weights_digest_tracks_training() {
+        let mut f = PpfFilter::default();
+        let d0 = f.weights_digest();
+        assert_eq!(d0, PpfFilter::default().weights_digest(), "cold digests agree");
+        let i = inputs(0x2000, 10);
+        let (d, sum) = f.infer(&i);
+        f.record(0x2000, i, sum, d);
+        f.train_on_eviction(0x2000, false);
+        assert_ne!(f.weights_digest(), d0, "training must move the digest");
+    }
+
+    #[test]
+    fn warm_start_rejects_bad_snapshots_untouched() {
+        let mut f = PpfFilter::default();
+        let before = f.weights_digest();
+        assert!(f.warm_start(&[0u8; 3]).is_err());
+        assert_eq!(f.weights_digest(), before);
     }
 
     #[test]

@@ -298,6 +298,20 @@ impl Perceptron {
         Ok(())
     }
 
+    /// FNV-1a digest of the full weight arena (as the `i8` values
+    /// [`Perceptron::save_weights`] serializes). Two perceptrons with equal
+    /// digests hold bit-identical weights — the cheap equality check the
+    /// serving daemon's warm-start verification and the checkpoint tests
+    /// rely on.
+    pub fn weights_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &w in &self.arena {
+            h ^= u64::from((w as i8) as u8);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
     /// The theoretical output range `[min, max]` of [`Perceptron::sum`].
     pub fn sum_range(&self) -> (i32, i32) {
         let n = self.bases.len() as i32;

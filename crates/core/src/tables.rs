@@ -63,6 +63,15 @@ impl MetaTable {
         self.entries.is_empty()
     }
 
+    /// Drops every entry, keeping the geometry. This is the checkpoint
+    /// barrier's table reset (see `PpfFilter::checkpoint_barrier`): a
+    /// filter restored from a checkpoint necessarily starts with empty
+    /// metadata tables, so a live filter clears its own at the same
+    /// boundary to keep recovery bit-exact.
+    pub fn clear(&mut self) {
+        self.entries.iter_mut().for_each(|e| *e = None);
+    }
+
     fn index(&self, block: u64) -> usize {
         (block as usize) & (self.entries.len() - 1)
     }

@@ -1,0 +1,386 @@
+//! Length-prefixed wire protocol for the filter daemon.
+//!
+//! Framing is deliberately minimal: a `u32` little-endian payload length,
+//! then the payload, whose first byte is an opcode. Everything is
+//! fixed-width little-endian — no text parsing on the hot path, and a
+//! truncated frame is detectable before any field is read.
+//!
+//! A score request carries the tenant name, a batch of candidates, and the
+//! tenant's piggybacked feedback (demand addresses and unused evictions).
+//! A candidate is exactly [`CANDIDATE_BYTES`] bytes:
+//!
+//! | field            | type  | bytes |
+//! |------------------|-------|-------|
+//! | `trigger_addr`   | `u64` | 8     |
+//! | `trigger_pc`     | `u64` | 8     |
+//! | `pc_1..pc_3`     | `u64` | 24    |
+//! | `signature`      | `u16` | 2     |
+//! | `last_signature` | `u16` | 2     |
+//! | `delta`          | `i16` | 2     |
+//! | `confidence`     | `u8`  | 1     |
+//! | `depth`          | `u8`  | 1     |
+//! | `target`         | `u64` | 8     |
+//!
+//! The reply is one status byte (`0` = scored, `1` = degraded accept-all)
+//! followed by one decision byte per candidate.
+
+use ppf::{Decision, FeatureInputs};
+
+/// Score a batch of candidates for one tenant.
+pub const OP_SCORE: u8 = 1;
+/// Reply to [`OP_SCORE`].
+pub const OP_REPLY: u8 = 2;
+/// Liveness probe; replied to with an empty [`OP_REPLY`].
+pub const OP_PING: u8 = 3;
+/// Flush checkpoints and stop the daemon.
+pub const OP_SHUTDOWN: u8 = 4;
+
+/// Serialized size of one candidate.
+pub const CANDIDATE_BYTES: usize = 56;
+
+/// Frames larger than this are rejected before allocation (a corrupt
+/// length prefix must not OOM the daemon).
+pub const MAX_FRAME: usize = 1 << 22;
+
+/// One prefetch candidate: the feature vector plus the prefetch target the
+/// tables are keyed by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Feature inputs at the trigger access.
+    pub inputs: FeatureInputs,
+    /// Prefetch target address.
+    pub target: u64,
+}
+
+/// A decoded score request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoreRequest {
+    /// Tenant the batch belongs to.
+    pub tenant: String,
+    /// Candidates to score, in order.
+    pub candidates: Vec<Candidate>,
+    /// Demand accesses since the last batch (positive feedback).
+    pub demands: Vec<u64>,
+    /// Addresses evicted unused since the last batch (negative feedback).
+    pub evictions: Vec<u64>,
+}
+
+/// A decoded score reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoreReply {
+    /// `true` when the daemon could not score (shed, deadline, panic) and
+    /// fails open: every decision is accept.
+    pub degraded: bool,
+    /// One decision per candidate.
+    pub decisions: Vec<Decision>,
+}
+
+impl ScoreReply {
+    /// The fail-open reply: accept everything at the L2.
+    pub fn degraded(n: usize) -> Self {
+        Self { degraded: true, decisions: vec![Decision::PrefetchL2; n] }
+    }
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().unwrap())
+}
+
+fn read_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())
+}
+
+fn read_u16(buf: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes(buf[at..at + 2].try_into().unwrap())
+}
+
+/// Appends one candidate's fixed-width encoding.
+pub fn encode_candidate(buf: &mut Vec<u8>, c: &Candidate) {
+    let i = &c.inputs;
+    put_u64(buf, i.trigger_addr);
+    put_u64(buf, i.trigger_pc);
+    put_u64(buf, i.pc_1);
+    put_u64(buf, i.pc_2);
+    put_u64(buf, i.pc_3);
+    buf.extend_from_slice(&i.signature.to_le_bytes());
+    buf.extend_from_slice(&i.last_signature.to_le_bytes());
+    buf.extend_from_slice(&i.delta.to_le_bytes());
+    buf.push(i.confidence);
+    buf.push(i.depth);
+    put_u64(buf, c.target);
+}
+
+/// Decodes one candidate from `buf[at..at + CANDIDATE_BYTES]`.
+pub fn decode_candidate(buf: &[u8], at: usize) -> Candidate {
+    let inputs = FeatureInputs {
+        trigger_addr: read_u64(buf, at),
+        trigger_pc: read_u64(buf, at + 8),
+        pc_1: read_u64(buf, at + 16),
+        pc_2: read_u64(buf, at + 24),
+        pc_3: read_u64(buf, at + 32),
+        signature: read_u16(buf, at + 40),
+        last_signature: read_u16(buf, at + 42),
+        delta: read_u16(buf, at + 44) as i16,
+        confidence: buf[at + 46],
+        depth: buf[at + 47],
+    };
+    Candidate { inputs, target: read_u64(buf, at + 48) }
+}
+
+/// Encodes a score request into a full frame (length prefix included).
+pub fn encode_score(req: &ScoreRequest) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(
+        16 + req.tenant.len()
+            + req.candidates.len() * CANDIDATE_BYTES
+            + (req.demands.len() + req.evictions.len()) * 8,
+    );
+    payload.push(OP_SCORE);
+    let name = req.tenant.as_bytes();
+    payload.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    payload.extend_from_slice(name);
+    payload.extend_from_slice(&(req.candidates.len() as u32).to_le_bytes());
+    for c in &req.candidates {
+        encode_candidate(&mut payload, c);
+    }
+    payload.extend_from_slice(&(req.demands.len() as u32).to_le_bytes());
+    for &d in &req.demands {
+        put_u64(&mut payload, d);
+    }
+    payload.extend_from_slice(&(req.evictions.len() as u32).to_le_bytes());
+    for &e in &req.evictions {
+        put_u64(&mut payload, e);
+    }
+    frame(payload)
+}
+
+/// Encodes a reply into a full frame.
+pub fn encode_reply(reply: &ScoreReply) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(6 + reply.decisions.len());
+    payload.push(OP_REPLY);
+    payload.push(u8::from(reply.degraded));
+    payload.extend_from_slice(&(reply.decisions.len() as u32).to_le_bytes());
+    for &d in &reply.decisions {
+        payload.push(match d {
+            Decision::Reject => 0,
+            Decision::PrefetchLlc => 1,
+            Decision::PrefetchL2 => 2,
+        });
+    }
+    frame(payload)
+}
+
+/// Encodes a bare single-opcode frame ([`OP_PING`], [`OP_SHUTDOWN`]).
+pub fn encode_op(op: u8) -> Vec<u8> {
+    frame(vec![op])
+}
+
+fn frame(payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend(payload);
+    out
+}
+
+/// Decodes a score-request payload (opcode byte included). Every length is
+/// bounds-checked; a malformed frame is an error, never a panic.
+pub fn decode_score(payload: &[u8]) -> Result<ScoreRequest, String> {
+    let need = |at: usize, n: usize| {
+        if at + n > payload.len() {
+            Err(format!("truncated frame: need {n} bytes at {at}, have {}", payload.len()))
+        } else {
+            Ok(())
+        }
+    };
+    need(0, 3)?;
+    if payload[0] != OP_SCORE {
+        return Err(format!("expected OP_SCORE, got opcode {}", payload[0]));
+    }
+    let name_len = read_u16(payload, 1) as usize;
+    need(3, name_len)?;
+    let tenant = String::from_utf8(payload[3..3 + name_len].to_vec())
+        .map_err(|_| "tenant name is not UTF-8".to_string())?;
+    let mut at = 3 + name_len;
+
+    need(at, 4)?;
+    let ncand = read_u32(payload, at) as usize;
+    at += 4;
+    if ncand > MAX_FRAME / CANDIDATE_BYTES {
+        return Err(format!("candidate count {ncand} exceeds frame budget"));
+    }
+    need(at, ncand * CANDIDATE_BYTES)?;
+    let mut candidates = Vec::with_capacity(ncand);
+    for _ in 0..ncand {
+        candidates.push(decode_candidate(payload, at));
+        at += CANDIDATE_BYTES;
+    }
+
+    let addrs = |at: &mut usize| -> Result<Vec<u64>, String> {
+        need(*at, 4)?;
+        let n = read_u32(payload, *at) as usize;
+        *at += 4;
+        if n > MAX_FRAME / 8 {
+            return Err(format!("address count {n} exceeds frame budget"));
+        }
+        need(*at, n * 8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(read_u64(payload, *at));
+            *at += 8;
+        }
+        Ok(out)
+    };
+    let demands = addrs(&mut at)?;
+    let evictions = addrs(&mut at)?;
+    Ok(ScoreRequest { tenant, candidates, demands, evictions })
+}
+
+/// Decodes a reply payload (opcode byte included).
+pub fn decode_reply(payload: &[u8]) -> Result<ScoreReply, String> {
+    if payload.len() < 6 {
+        return Err("reply frame too short".into());
+    }
+    if payload[0] != OP_REPLY {
+        return Err(format!("expected OP_REPLY, got opcode {}", payload[0]));
+    }
+    let degraded = payload[1] != 0;
+    let n = read_u32(payload, 2) as usize;
+    if payload.len() < 6 + n {
+        return Err("reply frame shorter than its decision count".into());
+    }
+    let mut decisions = Vec::with_capacity(n);
+    for &b in &payload[6..6 + n] {
+        decisions.push(match b {
+            0 => Decision::Reject,
+            1 => Decision::PrefetchLlc,
+            2 => Decision::PrefetchL2,
+            other => return Err(format!("unknown decision byte {other}")),
+        });
+    }
+    Ok(ScoreReply { degraded, decisions })
+}
+
+/// Reads one frame's payload from a stream. `Ok(None)` on clean EOF at a
+/// frame boundary.
+pub fn read_frame(r: &mut impl std::io::Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame length",
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds {MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> ScoreRequest {
+        let inputs = FeatureInputs {
+            trigger_addr: 0xDEAD_BEEF_0000,
+            trigger_pc: 0x40_1234,
+            pc_1: 1,
+            pc_2: 2,
+            pc_3: 3,
+            signature: 0x3FF,
+            last_signature: 0x155,
+            delta: -42,
+            confidence: 99,
+            depth: 7,
+        };
+        ScoreRequest {
+            tenant: "t000-619.lbm_s".into(),
+            candidates: vec![
+                Candidate { inputs, target: 0xAAAA_0000 },
+                Candidate { inputs: FeatureInputs::default(), target: 0xBBBB_0000 },
+            ],
+            demands: vec![0xAAAA_0000, 0xCCCC_0000],
+            evictions: vec![0xBBBB_0000],
+        }
+    }
+
+    #[test]
+    fn score_request_round_trips() {
+        let req = sample_request();
+        let framed = encode_score(&req);
+        let len = u32::from_le_bytes(framed[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, framed.len() - 4);
+        let decoded = decode_score(&framed[4..]).expect("decodes");
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn candidate_encoding_is_exactly_56_bytes() {
+        let mut buf = Vec::new();
+        encode_candidate(&mut buf, &sample_request().candidates[0]);
+        assert_eq!(buf.len(), CANDIDATE_BYTES);
+    }
+
+    #[test]
+    fn reply_round_trips() {
+        let reply = ScoreReply {
+            degraded: false,
+            decisions: vec![Decision::PrefetchL2, Decision::Reject, Decision::PrefetchLlc],
+        };
+        let framed = encode_reply(&reply);
+        assert_eq!(decode_reply(&framed[4..]).unwrap(), reply);
+        let deg = ScoreReply::degraded(2);
+        let framed = encode_reply(&deg);
+        let back = decode_reply(&framed[4..]).unwrap();
+        assert!(back.degraded);
+        assert_eq!(back.decisions, vec![Decision::PrefetchL2; 2]);
+    }
+
+    #[test]
+    fn truncated_frames_error_not_panic() {
+        let req = sample_request();
+        let framed = encode_score(&req);
+        for cut in 1..framed.len() - 4 {
+            // Every prefix of the payload must fail cleanly.
+            let _ = decode_score(&framed[4..4 + cut]);
+        }
+        assert!(decode_score(&[]).is_err());
+        assert!(decode_reply(&[OP_REPLY, 0, 9, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn frames_read_back_from_a_stream() {
+        let mut bytes = encode_score(&sample_request());
+        bytes.extend(encode_op(OP_PING));
+        let mut cursor = std::io::Cursor::new(bytes);
+        let first = read_frame(&mut cursor).unwrap().expect("frame 1");
+        assert_eq!(first[0], OP_SCORE);
+        let second = read_frame(&mut cursor).unwrap().expect("frame 2");
+        assert_eq!(second, vec![OP_PING]);
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut bytes = (MAX_FRAME as u32 + 1).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 8]);
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

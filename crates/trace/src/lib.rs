@@ -36,6 +36,7 @@ pub mod pattern;
 pub mod prng;
 pub mod profile;
 pub mod record;
+pub mod replay;
 pub mod validation;
 pub mod workload;
 
@@ -48,5 +49,6 @@ pub use pattern::{
 pub use prng::SplitMix64;
 pub use profile::TraceProfile;
 pub use record::{AccessKind, TraceRecord};
+pub use replay::{MultiTenantReplay, RatePlan};
 pub use validation::{cloudsuite, spec2006};
 pub use workload::{Suite, TraceBuilder, TraceGenerator, Workload};

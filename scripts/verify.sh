@@ -15,6 +15,9 @@
 #                                 #   must be byte-identical with cycle
 #                                 #   skipping on (default) and off
 #                                 #   (PPF_NO_SKIP=1)
+#   scripts/verify.sh --serve     # serve gate only: chaos drill (fault
+#                                 #   injection + 10x spike + warm restart)
+#                                 #   and the socket round trip
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -104,6 +107,60 @@ run_horizon_gate() {
     echo "horizon gate: OK (both loop shapes byte-identical)"
 }
 
+# Serve gate: the filter-fleet daemon survives its chaos drill. The drill
+# (ppf_loadgen --drill) injects a tenant panic, checkpoint bit-flips on one
+# tenant, a hung shard, and a 10x load spike, then warm-restarts from the
+# checkpoints it wrote. The binary itself enforces the acceptance bar (zero
+# stalled callers, warm start clean) and exits nonzero otherwise; the gate
+# additionally proves the unix-socket front end round-trips and shuts down.
+run_serve_gate() {
+    echo "== serve gate: chaos drill (tenant panic + bitflip + hung shard + 10x spike) =="
+    serve_dir="$(mktemp -d)"
+    PPF_FAULT_INJECT='tenant-panic:t001@4,checkpoint-bitflip:t002,slow-shard:1:1500,load-spike:10' \
+        ./target/release/ppf_loadgen --drill --checkpoint-dir "$serve_dir/drill" \
+        > "$serve_dir/drill.out" 2>/dev/null \
+        || { echo "serve gate: chaos drill failed"; cat "$serve_dir/drill.out"; \
+             rm -rf "$serve_dir"; exit 1; }
+    grep "^drill:" "$serve_dir/drill.out"
+    grep -q "tenant restarts 0" "$serve_dir/drill.out" \
+        && { echo "serve gate: injected panic produced no restart"; \
+             rm -rf "$serve_dir"; exit 1; }
+
+    echo "== serve gate: socket round trip =="
+    ./target/release/ppf_serve --listen "$serve_dir/ppf.sock" \
+        --checkpoint-dir "$serve_dir/sock-ckpt" > "$serve_dir/serve.out" 2>&1 &
+    serve_pid=$!
+    tries=0
+    while [ ! -S "$serve_dir/ppf.sock" ]; do
+        tries=$((tries + 1))
+        [ "$tries" -gt 100 ] \
+            && { echo "serve gate: daemon never bound its socket"; \
+                 cat "$serve_dir/serve.out"; rm -rf "$serve_dir"; exit 1; }
+        sleep 0.1
+    done
+    ./target/release/ppf_loadgen --connect "$serve_dir/ppf.sock" --requests 200 --tenants 4 \
+        || { echo "serve gate: socket load run failed"; kill "$serve_pid" 2>/dev/null; \
+             rm -rf "$serve_dir"; exit 1; }
+    ./target/release/ppf_loadgen --shutdown "$serve_dir/ppf.sock" \
+        || { echo "serve gate: daemon shutdown failed"; kill "$serve_pid" 2>/dev/null; \
+             rm -rf "$serve_dir"; exit 1; }
+    wait "$serve_pid" \
+        || { echo "serve gate: daemon exited nonzero"; cat "$serve_dir/serve.out"; \
+             rm -rf "$serve_dir"; exit 1; }
+    grep -q "^warm-start:" "$serve_dir/serve.out" \
+        || { echo "serve gate: no warm-start banner"; cat "$serve_dir/serve.out"; \
+             rm -rf "$serve_dir"; exit 1; }
+    rm -rf "$serve_dir"
+    echo "serve gate: OK (drill passed, socket round trip clean)"
+}
+
+if [ "$mode" = "--serve" ]; then
+    cargo build --release -q -p ppf-serve
+    run_serve_gate
+    echo "verify: OK"
+    exit 0
+fi
+
 if [ "$mode" = "--horizon" ]; then
     cargo build --release -q -p ppf-bench
     run_horizon_gate
@@ -145,6 +202,8 @@ run_simd_gate
 run_fault_drill
 
 run_horizon_gate
+
+run_serve_gate
 
 if [ "$mode" = "--quick" ] || [ "$mode" = "--bench" ]; then
     echo "== fig09 smoke run (--quick) =="

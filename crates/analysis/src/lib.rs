@@ -9,6 +9,8 @@
 //! * [`histogram`] — trained-weight distributions (Figure 6),
 //! * [`interval`] — interval-telemetry JSONL ingestion: parse, schema
 //!   validation, per-interval differencing, and phase tables,
+//! * [`profile`] — self-profiler JSONL ingestion and flat/top-down
+//!   cost-center tables (span taxonomy from [`ppf_sim::prof`]),
 //! * [`serve`] — serving-telemetry ingestion: daemon counter snapshots,
 //!   chaos-drill reports, and latency reconstruction from log2 buckets,
 //! * [`render`] — aligned tables, bar charts and sorted-series plots used by
@@ -25,6 +27,7 @@
 pub mod histogram;
 pub mod interval;
 pub mod pearson;
+pub mod profile;
 pub mod render;
 pub mod serve;
 pub mod stats;
@@ -37,5 +40,6 @@ pub use pearson::{
     cross_correlation_matrix, feature_correlations, pearson as pearson_r, redundant_pairs,
     FeatureCorrelation,
 };
+pub use profile::{parse_document as parse_profile, render_flat, render_topdown, SpanRecord};
 pub use render::{bar_chart, sorted_series, TextTable};
 pub use stats::{geomean_bootstrap_ci, geometric_mean, mean, percent_gain, weighted_speedup, ConfidenceInterval};

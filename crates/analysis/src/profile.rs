@@ -1,0 +1,394 @@
+//! Profile-JSONL ingestion and cost-center rendering.
+//!
+//! The self-profiler ([`ppf_sim::prof`]) exports one flat JSON object per
+//! span — numeric values only, same restricted shape as the interval
+//! telemetry — so this module reuses [`crate::interval::parse_line`] and
+//! stays dependency-free. Records carry *sampled* wall time: fine-grained
+//! tick spans are stamped once every `stride` executed ticks, so rendered
+//! figures scale `calls`/`wall_ns` by the record's stride to estimate
+//! full-run cost. The root `run_loop` span is always recorded at stride 1
+//! and anchors the percentage column and the coverage check.
+
+use crate::interval::parse_line;
+use crate::render::TextTable;
+use ppf_sim::Span;
+
+/// Schema version this parser understands (matches
+/// [`ppf_sim::prof::SCHEMA_VERSION`]).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Keys every profile record must carry.
+pub const REQUIRED_KEYS: [&str; 6] = ["v", "span", "calls", "wall_ns", "cycles", "stride"];
+
+/// One parsed profile record: a span's accumulated counters, plus the
+/// sampling stride they were collected under and (for serve-side tables)
+/// the shard that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The instrumented span.
+    pub span: Span,
+    /// Sampled call count.
+    pub calls: u64,
+    /// Sampled wall time, stamp-cost-corrected, in nanoseconds.
+    pub wall_ns: u64,
+    /// Simulated cycles attributed to the span (0 for serve-side spans).
+    pub cycles: u64,
+    /// Sampling stride the counters were collected under (1 = every call).
+    pub stride: u64,
+    /// Originating shard for serve-side tables, if tagged.
+    pub shard: Option<u64>,
+}
+
+impl SpanRecord {
+    /// Full-run wall-time estimate: sampled wall scaled by the stride.
+    pub fn est_wall_ns(&self) -> u64 {
+        self.wall_ns.saturating_mul(self.stride.max(1))
+    }
+
+    /// Full-run call-count estimate: sampled calls scaled by the stride.
+    pub fn est_calls(&self) -> u64 {
+        self.calls.saturating_mul(self.stride.max(1))
+    }
+}
+
+/// Parses and validates one profile JSONL line.
+///
+/// # Errors
+///
+/// Returns a description of the first problem: malformed JSON, wrong
+/// schema version, a missing required key, or an unknown span id.
+pub fn parse_record(line: &str) -> Result<SpanRecord, String> {
+    let rec = parse_line(line)?;
+    let v = rec.get("v").ok_or_else(|| "missing schema version \"v\"".to_string())?;
+    if v != f64::from(SCHEMA_VERSION) {
+        return Err(format!("schema version {v} (parser understands {SCHEMA_VERSION})"));
+    }
+    for key in REQUIRED_KEYS {
+        if rec.get(key).is_none() {
+            return Err(format!("missing required key {key:?}"));
+        }
+    }
+    let id = rec.req("span");
+    if id < 0.0 || id.fract() != 0.0 || id > f64::from(u8::MAX) {
+        return Err(format!("span id {id} is not a u8"));
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let span = Span::from_id(id as u64).ok_or_else(|| format!("unknown span id {id}"))?;
+    let stride = rec.req("stride");
+    if stride < 1.0 {
+        return Err(format!("stride {stride} must be >= 1"));
+    }
+    // Declared parent (if any) must agree with the span taxonomy compiled
+    // into this binary, or the top-down rollup would silently mis-nest.
+    if let Some(p) = rec.get("parent") {
+        #[allow(clippy::cast_precision_loss)]
+        let expect = span.parent().map(|p| p.id() as f64);
+        if Some(p) != expect {
+            return Err(format!("span {:?} declares parent {p}, taxonomy says {expect:?}", span.name()));
+        }
+    } else if span.parent().is_some() {
+        return Err(format!("span {:?} is missing its parent tag", span.name()));
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    Ok(SpanRecord {
+        span,
+        calls: rec.req("calls") as u64,
+        wall_ns: rec.req("wall_ns") as u64,
+        cycles: rec.req("cycles") as u64,
+        stride: stride as u64,
+        shard: rec.get("shard").map(|s| s as u64),
+    })
+}
+
+/// Parses a whole profile JSONL document (blank lines skipped).
+///
+/// # Errors
+///
+/// Returns `line N: <why>` for the first bad line.
+pub fn parse_document(text: &str) -> Result<Vec<SpanRecord>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_record(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+/// Sums records per span across shards/threads into one row each,
+/// preserving taxonomy order.
+fn aggregate(records: &[SpanRecord]) -> Vec<SpanRecord> {
+    let mut out: Vec<SpanRecord> = Vec::new();
+    for span in Span::ALL {
+        let mut agg: Option<SpanRecord> = None;
+        for r in records.iter().filter(|r| r.span == span) {
+            let a = agg.get_or_insert(SpanRecord {
+                span,
+                calls: 0,
+                wall_ns: 0,
+                cycles: 0,
+                stride: r.stride,
+                shard: None,
+            });
+            // Mixed strides per span never happen in one export; guard by
+            // folding everything to full-run estimates if they do.
+            if a.stride == r.stride {
+                a.calls += r.calls;
+                a.wall_ns += r.wall_ns;
+            } else {
+                a.calls = a.est_calls() + r.est_calls();
+                a.wall_ns = a.est_wall_ns() + r.est_wall_ns();
+                a.stride = 1;
+            }
+            a.cycles += r.cycles;
+        }
+        if let Some(a) = agg {
+            out.push(a);
+        }
+    }
+    out
+}
+
+/// Rescales the sampled tick subtree so it never exceeds the measured
+/// stride-1 `run_loop` root. Stride-scaled estimates of sampled ticks carry
+/// a small upward bias (the rarely-taken instrumentation path pays branch
+/// misses no calibration loop reproduces), so when the `tick` estimate
+/// overshoots the exactly-measured root, every span under `tick` is scaled
+/// by `run_loop / tick` — relative shares within the subtree are unchanged.
+fn normalized(mut agg: Vec<SpanRecord>) -> Vec<SpanRecord> {
+    let est = |agg: &[SpanRecord], span: Span| {
+        agg.iter().find(|r| r.span == span).map_or(0, SpanRecord::est_wall_ns)
+    };
+    let root = est(&agg, Span::RunLoop);
+    let tick = est(&agg, Span::Tick);
+    if root > 0 && tick > root {
+        #[allow(clippy::cast_precision_loss)]
+        let factor = root as f64 / tick as f64;
+        for r in &mut agg {
+            let mut cur = r.span;
+            let in_tick_subtree = loop {
+                if cur == Span::Tick {
+                    break true;
+                }
+                match cur.parent() {
+                    Some(p) => cur = p,
+                    None => break false,
+                }
+            };
+            if in_tick_subtree {
+                #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                {
+                    r.wall_ns = (r.wall_ns as f64 * factor) as u64;
+                }
+            }
+        }
+    }
+    agg
+}
+
+/// Total estimated wall across root spans (spans with no parent), the
+/// denominator for every percentage column.
+fn total_wall_ns(agg: &[SpanRecord]) -> u64 {
+    agg.iter().filter(|r| r.span.parent().is_none()).map(SpanRecord::est_wall_ns).sum()
+}
+
+fn fmt_ms(ns: u64) -> String {
+    #[allow(clippy::cast_precision_loss)]
+    let ms = ns as f64 / 1e6;
+    format!("{ms:.2}")
+}
+
+fn fmt_pct(part: u64, total: u64) -> String {
+    if total == 0 {
+        return "-".to_string();
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let pct = part as f64 / total as f64 * 100.0;
+    format!("{pct:.1}%")
+}
+
+/// Renders the flat cost-center table: one row per span, ranked by
+/// estimated wall time, with the share of root-span wall time.
+pub fn render_flat(records: &[SpanRecord]) -> String {
+    let mut agg = normalized(aggregate(records));
+    let total = total_wall_ns(&agg);
+    agg.sort_by_key(|r| std::cmp::Reverse(r.est_wall_ns()));
+    let mut t = TextTable::new(vec!["span", "est calls", "est wall ms", "ns/call", "cycles", "% total"]);
+    for r in &agg {
+        let per_call = r.wall_ns.checked_div(r.calls).unwrap_or(0);
+        t.row(vec![
+            r.span.name().to_string(),
+            r.est_calls().to_string(),
+            fmt_ms(r.est_wall_ns()),
+            per_call.to_string(),
+            r.cycles.to_string(),
+            fmt_pct(r.est_wall_ns(), total),
+        ]);
+    }
+    format!("flat cost centers (stride-scaled estimates)\n{}", t.render())
+}
+
+/// Renders the hierarchical rollup: each span nested under its parent,
+/// with inclusive and self time (inclusive minus measured children).
+pub fn render_topdown(records: &[SpanRecord]) -> String {
+    let agg = normalized(aggregate(records));
+    let total = total_wall_ns(&agg);
+    let mut t = TextTable::new(vec!["span", "incl ms", "self ms", "% total"]);
+    fn visit(t: &mut TextTable, agg: &[SpanRecord], span: Span, depth: usize, total: u64) {
+        let Some(r) = agg.iter().find(|r| r.span == span) else { return };
+        let kids: u64 = agg
+            .iter()
+            .filter(|c| c.span.parent() == Some(span))
+            .map(SpanRecord::est_wall_ns)
+            .sum();
+        let incl = r.est_wall_ns();
+        t.row(vec![
+            format!("{}{}", "  ".repeat(depth), span.name()),
+            fmt_ms(incl),
+            fmt_ms(incl.saturating_sub(kids)),
+            fmt_pct(incl, total),
+        ]);
+        for child in Span::ALL {
+            if child.parent() == Some(span) {
+                visit(t, agg, child, depth + 1, total);
+            }
+        }
+    }
+    for root in Span::ALL {
+        if root.parent().is_none() {
+            visit(&mut t, &agg, root, 0, total);
+        }
+    }
+    format!("top-down rollup\n{}", t.render())
+}
+
+/// Fraction of the root `run_loop` wall time that its direct children
+/// account for (stride-scaled, clamped to 1.0). `None` without a root
+/// record. This is the "spans cover >= 90% of measured wall time" figure
+/// the profile gate checks.
+pub fn coverage(records: &[SpanRecord]) -> Option<f64> {
+    let agg = aggregate(records);
+    let root = agg.iter().find(|r| r.span == Span::RunLoop)?;
+    if root.wall_ns == 0 {
+        return None;
+    }
+    let kids: u64 = agg
+        .iter()
+        .filter(|c| c.span.parent() == Some(Span::RunLoop))
+        .map(SpanRecord::est_wall_ns)
+        .sum();
+    #[allow(clippy::cast_precision_loss)]
+    Some((kids as f64 / root.est_wall_ns() as f64).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(span: Span, calls: u64, wall: u64, stride: u64) -> String {
+        let mut s = format!(
+            "{{\"v\":1,\"span\":{},\"calls\":{calls},\"wall_ns\":{wall},\"cycles\":{calls},\"stride\":{stride}",
+            span.id()
+        );
+        if let Some(p) = span.parent() {
+            s.push_str(&format!(",\"parent\":{}", p.id()));
+        }
+        s.push('}');
+        s
+    }
+
+    #[test]
+    fn parses_and_scales_by_stride() {
+        let r = parse_record(&line(Span::Tick, 10, 5_000, 64)).unwrap();
+        assert_eq!(r.span, Span::Tick);
+        assert_eq!(r.est_calls(), 640);
+        assert_eq!(r.est_wall_ns(), 320_000);
+        assert_eq!(r.shard, None);
+    }
+
+    #[test]
+    fn rejects_bad_records() {
+        assert!(parse_record("not json").is_err());
+        assert!(parse_record("{\"v\":2,\"span\":0,\"calls\":1,\"wall_ns\":1,\"cycles\":1,\"stride\":1}")
+            .is_err());
+        assert!(parse_record("{\"v\":1,\"span\":250,\"calls\":1,\"wall_ns\":1,\"cycles\":1,\"stride\":1}")
+            .is_err());
+        // Missing a required key.
+        assert!(parse_record("{\"v\":1,\"span\":0,\"calls\":1,\"wall_ns\":1,\"stride\":1}").is_err());
+        // Child span without its parent tag.
+        assert!(parse_record("{\"v\":1,\"span\":1,\"calls\":1,\"wall_ns\":1,\"cycles\":1,\"stride\":1}")
+            .is_err());
+        // Parent tag contradicting the taxonomy.
+        assert!(parse_record(
+            "{\"v\":1,\"span\":1,\"calls\":1,\"wall_ns\":1,\"cycles\":1,\"stride\":1,\"parent\":5}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn coverage_is_children_over_root() {
+        let doc = [
+            line(Span::RunLoop, 1, 1_000_000, 1),
+            line(Span::Tick, 1_000, 15_000, 64), // est 960_000
+        ]
+        .join("\n");
+        let recs = parse_document(&doc).unwrap();
+        let c = coverage(&recs).unwrap();
+        assert!((c - 0.96).abs() < 1e-9, "coverage {c}");
+        // Overshoot from stride scaling clamps to 1.0.
+        let doc = [line(Span::RunLoop, 1, 1_000_000, 1), line(Span::Tick, 1_000, 20_000, 64)].join("\n");
+        assert_eq!(coverage(&parse_document(&doc).unwrap()), Some(1.0));
+        // No root span -> no coverage figure.
+        assert_eq!(coverage(&parse_document(&line(Span::Decode, 5, 100, 1)).unwrap()), None);
+    }
+
+    #[test]
+    fn renders_rank_and_rollup() {
+        let doc = [
+            line(Span::RunLoop, 1, 1_000_000, 1),
+            line(Span::Tick, 1_000, 14_000, 64),
+            line(Span::RetireDispatch, 1_000, 8_000, 64),
+        ]
+        .join("\n");
+        let recs = parse_document(&doc).unwrap();
+        let flat = render_flat(&recs);
+        // Ranked by estimated wall: run_loop (1.0 ms) first.
+        // Line 0 title, 1 headers, 2 separator, 3 first (top-ranked) row.
+        let lines: Vec<&str> = flat.lines().collect();
+        assert!(lines[3].starts_with("run_loop"), "{flat}");
+        assert!(flat.contains("100.0%"), "{flat}");
+        let top = render_topdown(&recs);
+        assert!(top.contains("  tick"), "{top}");
+        assert!(top.contains("    retire_dispatch"), "{top}");
+    }
+
+    #[test]
+    fn tick_subtree_normalizes_to_measured_root() {
+        // Tick estimate overshoots the measured root by 2x; the renderer
+        // scales the subtree back so tick reads 100.0%, not 200.0%.
+        let doc = [
+            line(Span::RunLoop, 1, 1_000_000, 1),
+            line(Span::Tick, 1_000, 31_250, 64), // est 2_000_000
+            line(Span::RetireDispatch, 1_000, 15_625, 64), // est 1_000_000 -> 500_000
+        ]
+        .join("\n");
+        let recs = parse_document(&doc).unwrap();
+        let flat = render_flat(&recs);
+        assert!(!flat.contains("200.0%"), "{flat}");
+        assert!(flat.contains("50.0%"), "{flat}");
+        let top = render_topdown(&recs);
+        assert!(top.contains("100.0%"), "{top}");
+    }
+
+    #[test]
+    fn aggregates_across_shards() {
+        let a = "{\"v\":1,\"span\":15,\"calls\":10,\"wall_ns\":100,\"cycles\":0,\"stride\":1,\"shard\":0}";
+        let b = "{\"v\":1,\"span\":15,\"calls\":30,\"wall_ns\":300,\"cycles\":0,\"stride\":1,\"shard\":1}";
+        let recs = parse_document(&format!("{a}\n{b}")).unwrap();
+        assert_eq!(recs[0].shard, Some(0));
+        let flat = render_flat(&recs);
+        assert!(flat.contains("score"), "{flat}");
+        assert!(flat.contains("40"), "aggregated calls: {flat}");
+    }
+}

@@ -167,6 +167,33 @@ mod tests {
     }
 
     #[test]
+    fn quantile_edge_cases() {
+        // Buckets present but all zero: indistinguishable from "no
+        // samples", so no quantile, not a zero quantile.
+        let zeroed = parse_line("{\"v\":1,\"lat_b0\":0,\"lat_b5\":0}").unwrap();
+        assert_eq!(latency_quantile_us(&zeroed, 0.5), None);
+        assert_eq!(latency_quantile_us(&zeroed, 0.99), None);
+
+        // A single occupied bucket answers every quantile with its upper
+        // bound: lat_b4 covers [16, 32) µs → 32.
+        let single = parse_line("{\"v\":1,\"lat_b4\":10}").unwrap();
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(latency_quantile_us(&single, q), Some(32), "q={q}");
+        }
+
+        // All mass in the last exporter bucket (i = 31): the upper bound
+        // 2^32 µs must not wrap or drop to a lower bucket.
+        let last = parse_line("{\"v\":1,\"lat_b31\":5}").unwrap();
+        assert_eq!(latency_quantile_us(&last, 0.5), Some(1u64 << 32));
+        assert_eq!(latency_quantile_us(&last, 1.0), Some(4294967296));
+
+        // One sample: every rank clamps to it.
+        let one = parse_line("{\"v\":1,\"lat_b0\":1}").unwrap();
+        assert_eq!(latency_quantile_us(&one, 0.0), Some(2));
+        assert_eq!(latency_quantile_us(&one, 1.0), Some(2));
+    }
+
+    #[test]
     fn report_renders_rates() {
         let report = render_report(SNAPSHOT).expect("renders");
         assert!(report.contains("degraded/1k"));

@@ -47,6 +47,9 @@ OPTIONS:
     --record FILE               dump the workload to a trace file and exit
                                 (.csv writes `pc,addr,kind,work,dependent` text)
     --records N                 records to dump with --record [default: 1000000]
+    --profile                   print flat + top-down cost-center tables after
+                                the run (needs --features profiling; stride
+                                from PPF_PROFILE, default 64)
     --list                      print every available workload model and exit
     -h, --help                  print this help and exit
 
@@ -72,6 +75,7 @@ struct Args {
     record: Option<String>,
     records: u64,
     list: bool,
+    profile: bool,
     batch_window: usize,
 }
 
@@ -87,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
         record: None,
         records: 1_000_000,
         list: false,
+        profile: false,
         batch_window: ppf::batch_window_from_env(),
     };
     let mut it = std::env::args().skip(1);
@@ -126,6 +131,7 @@ fn parse_args() -> Result<Args, String> {
                 args.batch_window = n;
             }
             "--list" => args.list = true,
+            "--profile" => args.profile = true,
             "--help" | "-h" => {
                 print!("{}", USAGE);
                 std::process::exit(0);
@@ -244,9 +250,36 @@ fn run() -> Result<(), String> {
         }
     }
 
+    if args.profile {
+        if !cfg!(feature = "profiling") {
+            return Err(
+                "--profile needs the profiling feature; recompile with \
+                 `cargo run --release -p ppf-bench --features profiling --bin ppfsim`"
+                    .into(),
+            );
+        }
+        // Honour an explicit PPF_PROFILE stride, default to the standard
+        // sampling stride otherwise (the flag itself is the opt-in).
+        let env = ppf_sim::ProfConfig::from_env();
+        sim.set_profiling(if env.stride != 0 { env } else { ppf_sim::ProfConfig::enabled() });
+    }
+
     let t0 = std::time::Instant::now();
     let report = sim.run(args.warmup, args.measure);
     let wall = t0.elapsed();
+
+    if args.profile {
+        let records = ppf_analysis::profile::parse_document(&sim.profile_jsonl())
+            .map_err(|e| format!("profile export does not validate: {e}"))?;
+        println!();
+        print!("{}", ppf_analysis::profile::render_flat(&records));
+        println!();
+        print!("{}", ppf_analysis::profile::render_topdown(&records));
+        if let Some(c) = ppf_analysis::profile::coverage(&records) {
+            println!("\nspan coverage: {:.1}% of run_loop wall", c * 100.0);
+        }
+        println!();
+    }
 
     println!("prefetcher: {}\n", args.prefetcher);
     for (i, c) in report.cores.iter().enumerate() {

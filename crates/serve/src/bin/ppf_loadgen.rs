@@ -10,7 +10,8 @@
 //!   misses the acceptance bar (a stalled caller or an unexplained
 //!   warm-start mismatch).
 //! - `--connect <socket>`: replays against a running `ppf_serve` over its
-//!   unix socket and reports latency; `--shutdown` asks it to exit.
+//!   unix socket and reports latency; `--stats` fetches the fleet's live
+//!   counters and span tables (`OP_STATS`); `--shutdown` asks it to exit.
 //!
 //! ```text
 //! PPF_FAULT_INJECT='tenant-panic:t001@5,checkpoint-bitflip:t002,slow-shard:1:1500,load-spike:10' \
@@ -26,7 +27,8 @@ fn usage_exit() -> ! {
     eprintln!(
         "usage: ppf_loadgen --drill [--tenants N] [--duration-ms D] [--base-rate R] \
          [--checkpoint-dir DIR]\n       ppf_loadgen --connect <socket> [--requests N] \
-         [--tenants N]\n       ppf_loadgen --shutdown <socket>"
+         [--tenants N]\n       ppf_loadgen --stats <socket>\n       \
+         ppf_loadgen --shutdown <socket>"
     );
     std::process::exit(2);
 }
@@ -154,6 +156,10 @@ fn main() {
                 mode = Some("connect".into());
                 sock = Some(parse("--connect", args.next()));
             }
+            "--stats" => {
+                mode = Some("stats".into());
+                sock = Some(parse("--stats", args.next()));
+            }
             "--shutdown" => {
                 mode = Some("shutdown".into());
                 sock = Some(parse("--shutdown", args.next()));
@@ -182,6 +188,21 @@ fn main() {
         Some("drill") => drill(cfg),
         #[cfg(unix)]
         Some("connect") => connect_mode(&sock.expect("set with --connect"), requests, cfg.tenants),
+        #[cfg(unix)]
+        Some("stats") => {
+            let sock = sock.expect("set with --stats");
+            let mut client = ppf_serve::server::Client::connect(&sock).unwrap_or_else(|e| {
+                eprintln!("error: cannot connect to {}: {e}", sock.display());
+                std::process::exit(1);
+            });
+            let report = client.stats().unwrap_or_else(|e| {
+                eprintln!("error: stats failed: {e}");
+                std::process::exit(1);
+            });
+            // Raw JSONL: the counters snapshot line, then span-table
+            // lines when the daemon runs with profiling live.
+            print!("{report}");
+        }
         #[cfg(unix)]
         Some("shutdown") => {
             let sock = sock.expect("set with --shutdown");

@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 use ppf_bench::fault::FaultSpec;
 use ppf_bench::runner::lock_unpoisoned;
 use ppf_bench::watchdog::Watchdog;
+use ppf_sim::{ProfConfig, SharedSpanTable, Span};
 
 use crate::checkpoint::ShardCheckpoint;
 use crate::counters::Counters;
@@ -89,6 +90,10 @@ pub struct Daemon {
     supervisor: Option<std::thread::JoinHandle<()>>,
     stop: Arc<AtomicBool>,
     started: Instant,
+    /// Daemon-level span table: request decode happens on the socket
+    /// threads, outside any shard, so it rolls up here.
+    decode_prof: SharedSpanTable,
+    prof_on: bool,
 }
 
 impl std::fmt::Debug for Daemon {
@@ -99,8 +104,9 @@ impl std::fmt::Debug for Daemon {
 
 /// FNV-1a over the tenant name: the shard routing hash. Stable across
 /// runs and processes, so a tenant always lands on the same shard — a
-/// requirement for finding its checkpoints again after a restart.
-fn route_hash(tenant: &str) -> u64 {
+/// requirement for finding its checkpoints again after a restart. The
+/// flight recorder reuses it as the on-disk tenant identifier.
+pub(crate) fn route_hash(tenant: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for b in tenant.as_bytes() {
         h ^= u64::from(*b);
@@ -151,6 +157,11 @@ impl Daemon {
                                  replacing (incarnation {incarnation})"
                             );
                             slot.inner.retire();
+                            // Post-mortem before the rings go away with
+                            // the slot: the retiring shard's flight
+                            // recorder and verdict trace hit disk next to
+                            // its checkpoints.
+                            Self::dump_black_box(&cfg.checkpoint_dir, &slot.inner);
                             // Abandon the stuck worker: its JoinHandle is
                             // dropped, the thread detaches, and the retired
                             // flag reaps it if it ever wakes.
@@ -178,6 +189,30 @@ impl Daemon {
             supervisor: Some(supervisor),
             stop,
             started: Instant::now(),
+            decode_prof: SharedSpanTable::new(),
+            prof_on: cfg!(feature = "profiling") && ProfConfig::from_env().stride != 0,
+        }
+    }
+
+    /// Writes the retiring shard's flight-recorder ring (JSONL) and its
+    /// human-readable rendering plus verdict trace (`.trace`) into the
+    /// checkpoint directory: `flight-shard<idx>-inc<inc>.{jsonl,trace}`.
+    /// Failures are reported, never fatal — the replacement matters more
+    /// than the post-mortem.
+    fn dump_black_box(dir: &std::path::Path, inner: &ShardInner) {
+        let tag = format!("shard{}-inc{}", inner.idx, inner.incarnation);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("[serve] flight dump dir {} unavailable: {e}", dir.display());
+            return;
+        }
+        let jsonl = dir.join(format!("flight-{tag}.jsonl"));
+        if let Err(e) = std::fs::write(&jsonl, inner.flight.to_jsonl()) {
+            eprintln!("[serve] flight dump {} failed: {e}", jsonl.display());
+        }
+        let trace = dir.join(format!("flight-{tag}.trace"));
+        let text = format!("{}{}", inner.flight.render(), lock_unpoisoned(&inner.events).render());
+        if let Err(e) = std::fs::write(&trace, text) {
+            eprintln!("[serve] flight trace {} failed: {e}", trace.display());
         }
     }
 
@@ -307,6 +342,43 @@ impl Daemon {
     /// One flat JSONL counters snapshot (see `Counters::snapshot_jsonl`).
     pub fn snapshot(&self) -> String {
         self.counters.snapshot_jsonl(self.started.elapsed().as_millis() as u64)
+    }
+
+    /// Whether fine-grained span recording is active (the `profiling`
+    /// feature is compiled in AND `PPF_PROFILE` enables it).
+    pub fn profiling_active(&self) -> bool {
+        self.prof_on
+    }
+
+    /// Attributes `ns` nanoseconds of request decoding to the daemon-level
+    /// `decode` span. The socket server calls this; callers should gate on
+    /// [`Daemon::profiling_active`] to keep the timing itself off the
+    /// default path.
+    pub fn record_decode_ns(&self, ns: u64) {
+        self.decode_prof.record_ns(Span::Decode, ns);
+    }
+
+    /// The `OP_STATS` payload: the counters snapshot line first, then one
+    /// span line per active span — daemon-level decode spans untagged,
+    /// per-shard spans tagged `"shard":<idx>`. Span lines appear only when
+    /// profiling is live; the counters line is always present, so the
+    /// report is useful (and cheap) on a default build too.
+    pub fn stats_report(&self) -> String {
+        let mut out = self.snapshot();
+        out.push('\n');
+        if !self.decode_prof.is_empty() {
+            out.push_str(&self.decode_prof.to_jsonl(None));
+        }
+        for slot in self.slots.iter() {
+            let inner = {
+                let slot = lock_unpoisoned(slot);
+                Arc::clone(&slot.inner)
+            };
+            if !inner.prof.is_empty() {
+                out.push_str(&inner.prof.to_jsonl(Some(inner.idx as u64)));
+            }
+        }
+        out
     }
 
     /// Appends a counters snapshot under the telemetry export directory
@@ -446,6 +518,46 @@ mod tests {
             hit[a] = true;
         }
         assert!(hit.iter().filter(|h| **h).count() >= 2, "hash spreads tenants");
+        daemon.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn supervisor_retirement_dumps_flight_recorder() {
+        let dir = tmpdir("flight");
+        let daemon = Daemon::start(ServeConfig {
+            shards: 1,
+            checkpoint_dir: dir.clone(),
+            deadline: Duration::from_millis(50),
+            watchdog_limit: Duration::from_millis(100),
+            supervisor_poll: Duration::from_millis(20),
+            faults: vec![FaultSpec::SlowShard { shard: 0, millis: 1500 }],
+            ..ServeConfig::default()
+        });
+        // The injected stall (incarnation 0 only) swallows this request,
+        // starves the heartbeat, and draws the supervisor's axe.
+        let reply = daemon.score(req("t000-a", 0));
+        assert!(reply.degraded, "stalled shard must fail open");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while daemon.counters().shard_replacements.load(Ordering::Relaxed) == 0 {
+            assert!(Instant::now() < deadline, "supervisor never replaced the shard");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let jsonl = std::fs::read_to_string(dir.join("flight-shard0-inc0.jsonl"))
+            .expect("flight dump written");
+        assert!(!jsonl.is_empty(), "slow-inject event retained");
+        for line in jsonl.lines() {
+            let rec = ppf_analysis::interval::parse_line(line).expect("parseable dump");
+            assert_eq!(rec.get("v"), Some(1.0));
+        }
+        let trace = std::fs::read_to_string(dir.join("flight-shard0-inc0.trace"))
+            .expect("trace dump written");
+        assert!(trace.contains("flight recorder:"));
+        assert!(trace.contains("event trace:"));
+        // The replacement (incarnation 1) is cured: faults apply to
+        // incarnation 0 only.
+        let reply = daemon.score(req("t000-a", 1));
+        assert!(!reply.degraded);
         daemon.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -1,0 +1,204 @@
+//! Per-shard flight recorder: a bounded ring of recent serving events,
+//! dumped to disk when the supervisor retires the shard.
+//!
+//! Unlike the span tables (feature-gated, aggregate), the flight recorder
+//! is **always on**: each entry is one `Mutex` lock plus a few word writes
+//! against microsecond-scale scoring, and its whole purpose is post-mortem
+//! — when a shard hangs or panics its way into replacement, the dump is
+//! the only record of what the worker was doing in its final moments.
+//! Tenant names are recorded as their FNV route hashes: stable enough to
+//! correlate events, and the dump never leaks tenant identifiers to disk.
+//!
+//! The export is flat numeric JSONL (`ppf_analysis::interval::parse_line`
+//! compatible), one line per retained event, oldest first.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ppf_bench::runner::lock_unpoisoned;
+
+/// Events retained per shard; older entries are overwritten.
+pub const FLIGHT_CAPACITY: usize = 256;
+
+/// What a [`FlightEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A score job completed normally (`detail` = candidates scored).
+    Score = 0,
+    /// A degraded reply was produced (`detail` = candidates failed open).
+    Degraded = 1,
+    /// A tenant panicked and was quarantined (`detail` = rebuild count so
+    /// far on this shard).
+    Panic = 2,
+    /// A checkpoint record was appended (`detail` = checkpoint generation).
+    Checkpoint = 3,
+    /// An injected slow-shard fault stalled the worker (`detail` = ms).
+    SlowInject = 4,
+}
+
+impl FlightKind {
+    fn name(self) -> &'static str {
+        match self {
+            FlightKind::Score => "score",
+            FlightKind::Degraded => "degraded",
+            FlightKind::Panic => "panic",
+            FlightKind::Checkpoint => "checkpoint",
+            FlightKind::SlowInject => "slow-inject",
+        }
+    }
+}
+
+/// One retained event.
+#[derive(Debug, Clone, Copy)]
+pub struct FlightEvent {
+    /// Milliseconds since the recorder (= the shard) started.
+    pub at_ms: u64,
+    /// Event kind.
+    pub kind: FlightKind,
+    /// FNV route hash of the tenant involved (0 when not tenant-specific).
+    pub tenant: u64,
+    /// Kind-specific payload (see [`FlightKind`]).
+    pub detail: u64,
+    /// Duration of the operation, microseconds (0 when not timed).
+    pub dur_us: u64,
+}
+
+struct Ring {
+    buf: Vec<FlightEvent>,
+    head: usize,
+    total: u64,
+}
+
+/// The bounded event ring. Thread-safe: the worker records, the
+/// supervisor dumps from outside the worker thread.
+pub struct FlightRecorder {
+    started: Instant,
+    ring: Mutex<Ring>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder").field("total", &self.total()).finish()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlightRecorder {
+    /// A fresh recorder; the clock starts now.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            ring: Mutex::new(Ring { buf: Vec::with_capacity(FLIGHT_CAPACITY), head: 0, total: 0 }),
+        }
+    }
+
+    /// Records one event, overwriting the oldest at capacity.
+    pub fn record(&self, kind: FlightKind, tenant: u64, detail: u64, dur_us: u64) {
+        let ev = FlightEvent {
+            at_ms: self.started.elapsed().as_millis() as u64,
+            kind,
+            tenant,
+            detail,
+            dur_us,
+        };
+        let mut ring = lock_unpoisoned(&self.ring);
+        if ring.buf.len() < FLIGHT_CAPACITY {
+            ring.buf.push(ev);
+        } else {
+            let head = ring.head;
+            ring.buf[head] = ev;
+            ring.head = (head + 1) % FLIGHT_CAPACITY;
+        }
+        ring.total += 1;
+    }
+
+    /// Milliseconds since the recorder started — the timestamp base every
+    /// event's `at_ms` is relative to.
+    pub fn age_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Events recorded over the recorder's lifetime (retained or not).
+    pub fn total(&self) -> u64 {
+        lock_unpoisoned(&self.ring).total
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        let ring = lock_unpoisoned(&self.ring);
+        let mut out = Vec::with_capacity(ring.buf.len());
+        for i in 0..ring.buf.len() {
+            out.push(ring.buf[(ring.head + i) % ring.buf.len()]);
+        }
+        out
+    }
+
+    /// One flat numeric JSON line per retained event, oldest first
+    /// (newline-terminated; empty when nothing was recorded).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.events() {
+            out.push_str(&format!(
+                "{{\"v\":1,\"at_ms\":{},\"kind\":{},\"tenant\":{},\"detail\":{},\"dur_us\":{}}}\n",
+                ev.at_ms, ev.kind as u8, ev.tenant, ev.detail, ev.dur_us
+            ));
+        }
+        out
+    }
+
+    /// Human-readable dump, oldest first.
+    pub fn render(&self) -> String {
+        let events = self.events();
+        let mut out = format!("flight recorder: {} retained of {} recorded\n", events.len(), self.total());
+        for ev in events {
+            out.push_str(&format!(
+                "  t+{:>8} ms  {:<11} tenant {:#018x} detail {} dur {} us\n",
+                ev.at_ms,
+                ev.kind.name(),
+                ev.tenant,
+                ev.detail,
+                ev.dur_us
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest_and_keeps_order() {
+        let rec = FlightRecorder::new();
+        for i in 0..(FLIGHT_CAPACITY as u64 + 10) {
+            rec.record(FlightKind::Score, 7, i, 100);
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), FLIGHT_CAPACITY);
+        assert_eq!(rec.total(), FLIGHT_CAPACITY as u64 + 10);
+        assert_eq!(events[0].detail, 10, "oldest retained is the 11th");
+        assert_eq!(events.last().unwrap().detail, FLIGHT_CAPACITY as u64 + 9);
+    }
+
+    #[test]
+    fn jsonl_is_flat_numeric_and_parseable() {
+        let rec = FlightRecorder::new();
+        rec.record(FlightKind::Panic, 0xDEAD, 1, 0);
+        rec.record(FlightKind::Checkpoint, 0xBEEF, 3, 42);
+        let text = rec.to_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            let r = ppf_analysis::interval::parse_line(line).expect("flat numeric");
+            assert_eq!(r.get("v"), Some(1.0));
+            assert!(r.get("kind").is_some());
+            assert!(r.get("dur_us").is_some());
+        }
+        assert!(rec.render().contains("panic"));
+    }
+}

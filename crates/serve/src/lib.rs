@@ -19,6 +19,10 @@
 //! - **Wire protocol** ([`protocol`], [`server`]): length-prefixed binary
 //!   frames over a unix socket; the in-process [`daemon::Daemon`] API is
 //!   the same path minus the framing.
+//! - **Self-profiling** ([`flight`]): every shard keeps an always-on
+//!   flight recorder (bounded event ring) that the supervisor dumps to
+//!   disk on retirement, plus feature-gated span tables served live over
+//!   the `OP_STATS` opcode (`ppf_loadgen --stats`).
 //! - **Chaos drills**: `PPF_FAULT_INJECT` (parsed by `ppf_bench::fault`)
 //!   injects tenant panics, checkpoint bit-flips, slow shards, and load
 //!   spikes; `ppf_loadgen --drill` replays multi-tenant `ppf-trace`
@@ -31,6 +35,7 @@
 pub mod checkpoint;
 pub mod counters;
 pub mod daemon;
+pub mod flight;
 pub mod loadgen;
 pub mod protocol;
 #[cfg(unix)]
@@ -41,5 +46,6 @@ pub mod tenant;
 pub use checkpoint::{Restored, RestoredTenant, ShardCheckpoint};
 pub use counters::Counters;
 pub use daemon::{Daemon, ServeConfig};
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
 pub use protocol::{Candidate, ScoreReply, ScoreRequest};
 pub use tenant::TenantState;

@@ -34,6 +34,9 @@ pub const OP_REPLY: u8 = 2;
 pub const OP_PING: u8 = 3;
 /// Flush checkpoints and stop the daemon.
 pub const OP_SHUTDOWN: u8 = 4;
+/// Request a live stats report; replied to with an [`OP_STATS`] frame
+/// carrying the report text (see [`encode_stats_reply`]).
+pub const OP_STATS: u8 = 5;
 
 /// Serialized size of one candidate.
 pub const CANDIDATE_BYTES: usize = 56;
@@ -173,9 +176,39 @@ pub fn encode_reply(reply: &ScoreReply) -> Vec<u8> {
     frame(payload)
 }
 
-/// Encodes a bare single-opcode frame ([`OP_PING`], [`OP_SHUTDOWN`]).
+/// Encodes a bare single-opcode frame ([`OP_PING`], [`OP_SHUTDOWN`],
+/// [`OP_STATS`] as a request).
 pub fn encode_op(op: u8) -> Vec<u8> {
     frame(vec![op])
+}
+
+/// Encodes a stats report into a full frame: `[OP_STATS][u32 len][utf8]`.
+/// The report is JSONL text (counters snapshot, then span-table lines) —
+/// stats are off the hot path, so a text payload costs nothing that
+/// matters and keeps the report greppable.
+pub fn encode_stats_reply(report: &str) -> Vec<u8> {
+    let bytes = report.as_bytes();
+    let mut payload = Vec::with_capacity(5 + bytes.len());
+    payload.push(OP_STATS);
+    payload.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    payload.extend_from_slice(bytes);
+    frame(payload)
+}
+
+/// Decodes a stats-reply payload (opcode byte included).
+pub fn decode_stats_reply(payload: &[u8]) -> Result<String, String> {
+    if payload.len() < 5 {
+        return Err("stats frame too short".into());
+    }
+    if payload[0] != OP_STATS {
+        return Err(format!("expected OP_STATS, got opcode {}", payload[0]));
+    }
+    let n = read_u32(payload, 1) as usize;
+    if payload.len() < 5 + n {
+        return Err("stats frame shorter than its length field".into());
+    }
+    String::from_utf8(payload[5..5 + n].to_vec())
+        .map_err(|_| "stats report is not UTF-8".to_string())
 }
 
 fn frame(payload: Vec<u8>) -> Vec<u8> {
@@ -362,6 +395,20 @@ mod tests {
         }
         assert!(decode_score(&[]).is_err());
         assert!(decode_reply(&[OP_REPLY, 0, 9, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn stats_reply_round_trips_and_rejects_truncation() {
+        let report = "{\"v\":1,\"requests\":3}\n{\"v\":1,\"span\":15,\"shard\":0}\n";
+        let framed = encode_stats_reply(report);
+        assert_eq!(decode_stats_reply(&framed[4..]).unwrap(), report);
+        for cut in 1..framed.len() - 4 {
+            // Every prefix must fail cleanly, never panic.
+            let _ = decode_stats_reply(&framed[4..4 + cut]);
+        }
+        assert!(decode_stats_reply(&[]).is_err());
+        assert!(decode_stats_reply(&[OP_STATS, 9, 0, 0, 0]).is_err());
+        assert_eq!(decode_stats_reply(&encode_stats_reply("")[4..]).unwrap(), "");
     }
 
     #[test]

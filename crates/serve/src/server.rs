@@ -15,8 +15,9 @@ use std::sync::Arc;
 
 use crate::daemon::Daemon;
 use crate::protocol::{
-    decode_reply, decode_score, encode_op, encode_reply, read_frame, ScoreReply,
-    ScoreRequest, OP_PING, OP_REPLY, OP_SCORE, OP_SHUTDOWN,
+    decode_reply, decode_score, decode_stats_reply, encode_op, encode_reply,
+    encode_stats_reply, read_frame, ScoreReply, ScoreRequest, OP_PING, OP_REPLY, OP_SCORE,
+    OP_SHUTDOWN, OP_STATS,
 };
 
 /// Serves `daemon` on a unix socket at `path` until an [`OP_SHUTDOWN`]
@@ -60,7 +61,17 @@ fn serve_conn(
     while let Some(payload) = read_frame(&mut stream)? {
         match payload.first() {
             Some(&OP_SCORE) => {
-                let reply = match decode_score(&payload) {
+                // Decode is timed only when profiling is live; the check
+                // is one bool, the timing two clock reads.
+                let decoded = if daemon.profiling_active() {
+                    let t0 = std::time::Instant::now();
+                    let decoded = decode_score(&payload);
+                    daemon.record_decode_ns(t0.elapsed().as_nanos() as u64);
+                    decoded
+                } else {
+                    decode_score(&payload)
+                };
+                let reply = match decoded {
                     Ok(req) => daemon.score(req),
                     Err(e) => {
                         eprintln!("[serve] malformed score frame: {e}");
@@ -68,6 +79,9 @@ fn serve_conn(
                     }
                 };
                 stream.write_all(&encode_reply(&reply))?;
+            }
+            Some(&OP_STATS) => {
+                stream.write_all(&encode_stats_reply(&daemon.stats_report()))?;
             }
             Some(&OP_PING) => {
                 stream
@@ -127,6 +141,17 @@ impl Client {
         self.round_trip(&encode_op(OP_PING)).map(|_| ())
     }
 
+    /// Fetches the daemon's live stats report (counters snapshot line,
+    /// then span-table lines when profiling is active).
+    pub fn stats(&mut self) -> std::io::Result<String> {
+        self.stream.write_all(&encode_op(OP_STATS))?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "daemon closed connection")
+        })?;
+        decode_stats_reply(&payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
     /// Asks the daemon to flush checkpoints and exit.
     pub fn shutdown(&mut self) -> std::io::Result<()> {
         self.round_trip(&encode_op(OP_SHUTDOWN)).map(|_| ())
@@ -181,6 +206,10 @@ mod tests {
             })
             .expect("score");
         assert_eq!(reply.decisions.len(), 1);
+        let stats = client.stats().expect("stats");
+        let first = stats.lines().next().expect("counters line");
+        let rec = ppf_analysis::interval::parse_line(first).expect("flat numeric");
+        assert_eq!(rec.get("requests"), Some(1.0));
         client.shutdown().expect("shutdown");
         server.join().expect("server thread");
         let _ = std::fs::remove_dir_all(&dir);

@@ -23,16 +23,23 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ppf_bench::fault::FaultSpec;
 use ppf_bench::runner::lock_unpoisoned;
 use ppf_bench::watchdog::Heartbeat;
+use ppf_sim::{EventKind, EventRing, ProfConfig, SharedSpanTable, Span, TraceEvent};
 
-use crate::checkpoint::{RestoredTenant, ShardCheckpoint};
 use crate::counters::Counters;
+use crate::checkpoint::{RestoredTenant, ShardCheckpoint};
+use crate::daemon::route_hash;
+use crate::flight::{FlightKind, FlightRecorder};
 use crate::protocol::{ScoreReply, ScoreRequest};
 use crate::tenant::TenantState;
+
+/// Verdict trace events retained per shard (mirrors the simulator's
+/// invariant-checker ring; both dumps travel together on retirement).
+const SHARD_EVENT_RING: usize = 256;
 
 /// How long an idle worker waits before re-beating its heartbeat.
 const IDLE_BEAT: Duration = Duration::from_millis(100);
@@ -46,6 +53,8 @@ pub(crate) enum Job {
         req: ScoreRequest,
         /// Where the (possibly degraded) reply goes.
         reply: SyncSender<ScoreReply>,
+        /// When the job entered the queue (feeds the queue-wait span).
+        at: Instant,
     },
     /// Checkpoint every dirty tenant now; replies with records written.
     Flush(SyncSender<u64>),
@@ -72,6 +81,19 @@ pub(crate) struct ShardInner {
     /// Set by the supervisor (or shutdown); the worker drains and exits,
     /// and late submitters see their jobs answered degraded.
     pub retired: AtomicBool,
+    /// Always-on post-mortem event ring, dumped to disk by the supervisor
+    /// when it retires this shard.
+    pub flight: FlightRecorder,
+    /// Recent filter-verdict trace events — the same ring the simulator's
+    /// invariant checker dumps — written alongside the flight dump.
+    pub events: Mutex<EventRing>,
+    /// Fine-grained serving spans (queue wait / score / checkpoint
+    /// append), served live over `OP_STATS`. Written only when
+    /// `prof_on`; snapshotting an all-zero table is free.
+    pub prof: SharedSpanTable,
+    /// Sampled once at construction: the `profiling` feature is compiled
+    /// in AND `PPF_PROFILE` enables it at runtime.
+    pub prof_on: bool,
 }
 
 impl std::fmt::Debug for ShardInner {
@@ -101,6 +123,10 @@ impl ShardInner {
             capacity: capacity.max(1),
             quota: quota.max(1),
             retired: AtomicBool::new(false),
+            flight: FlightRecorder::new(),
+            events: Mutex::new(EventRing::new(SHARD_EVENT_RING)),
+            prof: SharedSpanTable::new(),
+            prof_on: cfg!(feature = "profiling") && ProfConfig::from_env().stride != 0,
         }
     }
 
@@ -112,11 +138,13 @@ impl ShardInner {
         reply: SyncSender<ScoreReply>,
         counters: &Counters,
     ) {
+        let tenant_hash = route_hash(&req.tenant);
         let mut q = lock_unpoisoned(&self.queue);
         if self.retired.load(Ordering::Acquire) {
             // Raced with a replacement: fail open rather than enqueue into
             // a queue nobody will ever drain.
             counters.degraded_replies.fetch_add(1, Ordering::Relaxed);
+            self.flight.record(FlightKind::Degraded, tenant_hash, req.candidates.len() as u64, 0);
             send_degraded(&reply, req.candidates.len());
             return;
         }
@@ -127,6 +155,7 @@ impl ShardInner {
         if tenant_queued >= self.quota {
             counters.shed_quota.fetch_add(1, Ordering::Relaxed);
             counters.degraded_replies.fetch_add(1, Ordering::Relaxed);
+            self.flight.record(FlightKind::Degraded, tenant_hash, req.candidates.len() as u64, 0);
             send_degraded(&reply, req.candidates.len());
             return;
         }
@@ -135,14 +164,20 @@ impl ShardInner {
             if let Some(oldest) =
                 q.iter().position(|j| matches!(j, Job::Score { .. }))
             {
-                if let Job::Score { req: old, reply: old_reply } = q.remove(oldest) {
+                if let Job::Score { req: old, reply: old_reply, .. } = q.remove(oldest) {
                     counters.shed_overflow.fetch_add(1, Ordering::Relaxed);
                     counters.degraded_replies.fetch_add(1, Ordering::Relaxed);
+                    self.flight.record(
+                        FlightKind::Degraded,
+                        route_hash(&old.tenant),
+                        old.candidates.len() as u64,
+                        0,
+                    );
                     send_degraded(&old_reply, old.candidates.len());
                 }
             }
         }
-        q.push(Job::Score { req, reply });
+        q.push(Job::Score { req, reply, at: Instant::now() });
         drop(q);
         self.cv.notify_one();
     }
@@ -169,7 +204,7 @@ impl ShardInner {
                 // Drain: answer everything still queued, fail-open.
                 for job in q.drain(..) {
                     match job {
-                        Job::Score { req, reply } => send_degraded(&reply, req.candidates.len()),
+                        Job::Score { req, reply, .. } => send_degraded(&reply, req.candidates.len()),
                         Job::Flush(done) => {
                             let _ = done.try_send(0);
                         }
@@ -221,7 +256,7 @@ impl ShardWorker {
             self.heartbeat.beat();
             let Some(job) = self.inner.next_job(&self.heartbeat) else { return };
             match job {
-                Job::Score { req, reply } => self.score(&mut tenants, req, reply),
+                Job::Score { req, reply, at } => self.score(&mut tenants, req, reply, at),
                 Job::Flush(done) => {
                     let _ = done.try_send(self.flush(&mut tenants));
                 }
@@ -256,11 +291,19 @@ impl ShardWorker {
         tenants: &mut HashMap<String, TenantState>,
         req: ScoreRequest,
         reply: SyncSender<ScoreReply>,
+        queued_at: Instant,
     ) {
+        if self.inner.prof_on {
+            self.inner
+                .prof
+                .record_ns(Span::QueueWait, queued_at.elapsed().as_nanos() as u64);
+        }
+        let tenant_hash = route_hash(&req.tenant);
         if self.inner.incarnation == 0 {
             for f in &self.faults {
                 if let FaultSpec::SlowShard { shard, millis } = f {
                     if *shard == self.inner.idx {
+                        self.inner.flight.record(FlightKind::SlowInject, 0, *millis, 0);
                         std::thread::sleep(Duration::from_millis(*millis));
                     }
                 }
@@ -277,23 +320,43 @@ impl ShardWorker {
                 matches!(f, FaultSpec::TenantPanic { pat, nth }
                     if name.contains(pat.as_str()) && *nth == tenant.seen + 1)
             });
+        // The score is timed unconditionally: the flight recorder (always
+        // on) wants per-job durations; the span table additionally rolls
+        // them up when profiling is enabled.
+        let score_t0 = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if inject {
                 panic!("injected tenant fault: {name}");
             }
             tenant.process(&req)
         }));
+        let score_ns = score_t0.elapsed().as_nanos() as u64;
+        if self.inner.prof_on {
+            self.inner.prof.record_ns(Span::Score, score_ns);
+        }
         match outcome {
             Ok(decisions) => {
                 let accepted = decisions
                     .iter()
                     .filter(|d| !matches!(d, ppf::Decision::Reject))
                     .count() as u64;
+                let rejected = decisions.len() as u64 - accepted;
                 self.counters.candidates.fetch_add(decisions.len() as u64, Ordering::Relaxed);
                 self.counters.accepted.fetch_add(accepted, Ordering::Relaxed);
-                self.counters
-                    .rejected
-                    .fetch_add(decisions.len() as u64 - accepted, Ordering::Relaxed);
+                self.counters.rejected.fetch_add(rejected, Ordering::Relaxed);
+                self.inner.flight.record(
+                    FlightKind::Score,
+                    tenant_hash,
+                    decisions.len() as u64,
+                    score_ns / 1_000,
+                );
+                lock_unpoisoned(&self.inner.events).record(TraceEvent {
+                    cycle: self.inner.flight.age_ms(),
+                    core: self.inner.idx as u32,
+                    kind: EventKind::PpfVerdict,
+                    block: tenant_hash,
+                    payload: (accepted << 32) | rejected,
+                });
                 let _ = reply.try_send(ScoreReply { degraded: false, decisions });
                 // A zombie worker (replaced mid-job by the supervisor) must
                 // not keep appending stale generations to a file its
@@ -309,8 +372,9 @@ impl ShardWorker {
                 // The tenant's filter may be mid-mutation: discard it and
                 // rebuild from the last checkpoint barrier. Other tenants
                 // on this shard are untouched.
-                self.counters.tenant_restarts.fetch_add(1, Ordering::Relaxed);
+                let restarts = self.counters.tenant_restarts.fetch_add(1, Ordering::Relaxed) + 1;
                 self.counters.degraded_replies.fetch_add(1, Ordering::Relaxed);
+                self.inner.flight.record(FlightKind::Panic, tenant_hash, restarts, score_ns / 1_000);
                 let mut rebuilt = self.build_tenant(&name);
                 // Keep the fault trigger one-shot: the rebuilt tenant
                 // restarts its request count, so carry the poisoned
@@ -327,8 +391,19 @@ impl ShardWorker {
         let bitflip = self.faults.iter().any(|f| {
             matches!(f, FaultSpec::CheckpointBitflip { pat } if tenant.name.contains(pat.as_str()))
         });
+        let append_t0 = Instant::now();
         match self.store.append(&tenant.name, gen, &weights, bitflip) {
             Ok(()) => {
+                let append_ns = append_t0.elapsed().as_nanos() as u64;
+                if self.inner.prof_on {
+                    self.inner.prof.record_ns(Span::CheckpointAppend, append_ns);
+                }
+                self.inner.flight.record(
+                    FlightKind::Checkpoint,
+                    route_hash(&tenant.name),
+                    gen,
+                    append_ns / 1_000,
+                );
                 self.counters.checkpoint_records.fetch_add(1, Ordering::Relaxed);
                 if bitflip {
                     self.counters.checkpoint_bitflips.fetch_add(1, Ordering::Relaxed);

@@ -7,7 +7,7 @@
 //! tenant's filter, which is then discarded and rebuilt from its last
 //! checkpoint.
 
-use ppf::{Decision, PpfConfig, PpfFilter};
+use ppf::{Decision, FeatureInputs, PpfConfig, PpfFilter, ScoredBatch, MAX_BATCH};
 
 use crate::protocol::ScoreRequest;
 
@@ -48,9 +48,45 @@ impl TenantState {
         Ok(t)
     }
 
-    /// Scores one request: infer + record each candidate, then apply the
-    /// piggybacked feedback. Decisions come back in candidate order.
+    /// Scores one request: batch-infer the candidates through the SIMD
+    /// summing path, commit each decision in candidate order, then apply
+    /// the piggybacked feedback.
+    ///
+    /// Decisions are identical to scoring one candidate at a time:
+    /// `judge_scored` re-sums any candidate whose batch epoch went stale
+    /// when recording an earlier one displacement-trained the weights, so
+    /// batching changes where the sums are computed, never their values
+    /// (pinned by `batched_scoring_matches_sequential`).
     pub fn process(&mut self, req: &ScoreRequest) -> Vec<Decision> {
+        self.seen += 1;
+        self.since_checkpoint += 1;
+        let mut decisions = Vec::with_capacity(req.candidates.len());
+        let mut batch = ScoredBatch::default();
+        let mut inputs = [FeatureInputs::default(); MAX_BATCH];
+        for chunk in req.candidates.chunks(MAX_BATCH) {
+            for (slot, c) in inputs.iter_mut().zip(chunk) {
+                *slot = c.inputs;
+            }
+            self.filter.infer_batch(&inputs[..chunk.len()], &mut batch);
+            for (i, c) in chunk.iter().enumerate() {
+                let (d, sum, indices) = self.filter.judge_scored(&mut batch, i);
+                self.filter.record_indexed(c.target, c.inputs, indices, sum, d);
+                decisions.push(d);
+            }
+        }
+        for &addr in &req.demands {
+            self.filter.train_on_demand(addr);
+        }
+        for &addr in &req.evictions {
+            self.filter.train_on_eviction(addr, false);
+        }
+        decisions
+    }
+
+    /// The pre-batching scoring loop, kept as the differential oracle for
+    /// `batched_scoring_matches_sequential`.
+    #[cfg(test)]
+    fn process_sequential(&mut self, req: &ScoreRequest) -> Vec<Decision> {
         self.seen += 1;
         self.since_checkpoint += 1;
         let mut decisions = Vec::with_capacity(req.candidates.len());
@@ -138,5 +174,29 @@ mod tests {
     #[test]
     fn warm_start_rejects_wrong_geometry() {
         assert!(TenantState::warm("t", 1, &[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn batched_scoring_matches_sequential() {
+        let mut batched = TenantState::fresh("t000-x");
+        let mut sequential = TenantState::fresh("t000-x");
+        // Mixed batch sizes, including empty and > MAX_BATCH (forces the
+        // chunked path), with feedback interleaved so the weights keep
+        // moving between and within requests.
+        let sizes = [0u64, 1, 3, 4, 7, MAX_BATCH as u64, MAX_BATCH as u64 + 17, 5, 64, 2];
+        for (i, &n) in sizes.iter().cycle().take(60).enumerate() {
+            let r = req(i as u64, n);
+            assert_eq!(
+                batched.process(&r),
+                sequential.process_sequential(&r),
+                "request {i} (batch of {n}) diverged"
+            );
+        }
+        assert_eq!(
+            batched.filter.weights_digest(),
+            sequential.filter.weights_digest(),
+            "training state diverged"
+        );
+        assert_eq!(batched.filter.stats.inferences, sequential.filter.stats.inferences);
     }
 }

@@ -42,6 +42,7 @@ pub mod horizon;
 pub mod invariants;
 pub mod mshr;
 pub mod prefetcher;
+pub mod prof;
 pub mod rob;
 pub mod simd;
 pub mod stats;
@@ -55,6 +56,7 @@ pub use horizon::CycleStats;
 pub use prefetcher::{
     AccessContext, EvictionInfo, FillLevel, NoPrefetcher, Prefetcher, PrefetchRequest,
 };
+pub use prof::{ProfConfig, Profiler, SharedSpanTable, Span, SpanStat, SPAN_COUNT};
 pub use simd::SimdLevel;
 pub use stats::{CoreReport, PrefetchStats, SimReport, IPC_SAMPLE_WINDOW};
 pub use system::{run_single_core, Simulation};

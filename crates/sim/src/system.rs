@@ -33,6 +33,7 @@ use crate::fxhash::FxHashSet;
 use crate::horizon::CycleStats;
 use crate::mshr::{MissOrigin, MshrAlloc, MshrEntry, MshrFile};
 use crate::prefetcher::{AccessContext, EvictionInfo, FillLevel, Prefetcher, PrefetchRequest};
+use crate::prof::{ProfConfig, Profiler, Span};
 use crate::rob::{Rob, PENDING};
 use crate::stats::{CoreReport, PrefetchStats, SimReport, IPC_SAMPLE_WINDOW};
 use crate::telemetry::{
@@ -146,6 +147,9 @@ pub struct Simulation {
     /// Bounded trace of recent events (inert single-slot ring unless
     /// telemetry is enabled).
     events: EventRing,
+    /// Span profiler (see [`crate::prof`]). Sampled once at construction
+    /// from `PPF_PROFILE`; override with [`Simulation::set_profiling`].
+    prof: Profiler,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -179,6 +183,7 @@ impl Simulation {
             drain_scratch: Vec::new(),
             telemetry: TelemetryConfig::from_env(),
             events: EventRing::new(1),
+            prof: Profiler::new(ProfConfig::from_env()),
         };
         sim.events = EventRing::new(sim.event_ring_capacity());
         sim
@@ -230,6 +235,37 @@ impl Simulation {
     /// The telemetry settings this simulation runs with.
     pub fn telemetry(&self) -> TelemetryConfig {
         self.telemetry
+    }
+
+    /// True when profiling hooks should record. With the `profiling` feature
+    /// off, `cfg!` folds this to `false` and every hook body is eliminated.
+    #[inline(always)]
+    fn prof_active(&self) -> bool {
+        cfg!(feature = "profiling") && self.prof.enabled()
+    }
+
+    /// Overrides the `PPF_PROFILE`-derived profiling settings (tests and
+    /// harnesses that must not race on process-global environment). Resets
+    /// anything already recorded, so call it before [`Simulation::run`].
+    /// Ignored (forced off) when the `profiling` feature is not compiled in.
+    pub fn set_profiling(&mut self, cfg: ProfConfig) {
+        self.prof = Profiler::new(if cfg!(feature = "profiling") {
+            cfg
+        } else {
+            ProfConfig::disabled()
+        });
+    }
+
+    /// The span profiler (empty unless profiling was enabled during
+    /// [`Simulation::run`]).
+    pub fn profiler(&self) -> &Profiler {
+        &self.prof
+    }
+
+    /// The accumulated profile as flat numeric JSONL (empty string when
+    /// profiling was off or nothing ran).
+    pub fn profile_jsonl(&self) -> String {
+        self.prof.to_jsonl()
     }
 
     /// Overrides the `PPF_NO_SKIP`-derived cycle-skip setting (tests and
@@ -348,6 +384,11 @@ impl Simulation {
         let iteration_limit = (warmup + measure) * 2000 + 1_000_000;
         let mut iterations: u64 = 0;
         let run_start = self.cycle_stats();
+        // Root profiling span: stamped once (stride 1), so the exported
+        // profile always covers the run's whole wall time regardless of the
+        // sampling stride the fine-grained spans use.
+        let prof_run =
+            if self.prof_active() { Some((std::time::Instant::now(), self.cycle)) } else { None };
 
         while self.cores.iter().any(|c| c.measure_end_cycle.is_none()) {
             self.cycle += 1;
@@ -389,6 +430,11 @@ impl Simulation {
             }
         }
 
+        if let Some((t0, c0)) = prof_run {
+            self.prof.record_ns(Span::RunLoop, t0.elapsed().as_nanos() as u64);
+            self.prof.add_cycles(Span::RunLoop, self.cycle - c0);
+        }
+
         let end = self.cycle_stats();
         crate::horizon::record_global(CycleStats {
             ticks: end.ticks - run_start.ticks,
@@ -424,6 +470,14 @@ impl Simulation {
         self.ticks_executed += 1;
         let cycle = self.cycle;
         let telem = self.telemetry_active();
+        // Sampled tick anatomy: one tick in every `stride` gets stamped.
+        // Consecutive laps share stamps, so the phase spans partition the
+        // tick exactly; nested spans (inside `drain_core_fills` and
+        // `start_demand`) keep their own stamps and are *included* in their
+        // parent's lap — renderers subtract children for self time.
+        let sampled = self.prof_active() && self.prof.begin_tick();
+        let tick_t0 = if sampled { self.prof.stamp() } else { None };
+        let mut ps = tick_t0;
 
         // Shared LLC fills. A drain frees LLC MSHR capacity and installs
         // lines that any core's dispatch or issue may be blocked on, so it
@@ -467,6 +521,7 @@ impl Simulation {
             }
         }
         self.drain_scratch = ready;
+        self.prof.lap(Span::LlcMshrDrain, &mut ps);
 
         // Apply deferred useful-prefetch credits. These are late merges, so
         // they count in `late` only (`useful` holds timely prefetches; the
@@ -497,6 +552,7 @@ impl Simulation {
                 core.prefetcher.on_llc_eviction(&ev);
             }
         }
+        self.prof.lap(Span::DeferredDrain, &mut ps);
 
         // Per-core phases, gated on each core's wake cycle. A sleeping
         // core's tick is a complete no-op — its L2 MSHR has nothing ready,
@@ -510,8 +566,11 @@ impl Simulation {
                 continue;
             }
             self.drain_core_fills(i, cycle);
+            self.prof.lap(Span::CoreFillDrain, &mut ps);
             let dispatch_wake = self.retire_and_dispatch(i, cycle, warmup, measure);
+            self.prof.lap(Span::RetireDispatch, &mut ps);
             let issue_wake = self.issue_prefetches(i, cycle);
+            self.prof.lap(Span::IssuePrefetch, &mut ps);
             let core = &mut self.cores[i];
             // Retirement is bounded by the ROB head; a width-limited retire
             // burst is replayed cycle by cycle via the `cycle + 1` clamp.
@@ -533,6 +592,7 @@ impl Simulation {
         if self.invariant_period != 0 && cycle.is_multiple_of(self.invariant_period) {
             self.enforce_invariants();
         }
+        self.prof.lap(Span::InvariantCheck, &mut ps);
 
         // The event horizon: min over every way the system can next change
         // state. DRAM contributes no term because it is fully passive —
@@ -548,6 +608,12 @@ impl Simulation {
         }
         for core in &self.cores {
             horizon = horizon.min(core.next_wake);
+        }
+        self.prof.lap(Span::HorizonCompute, &mut ps);
+        if tick_t0.is_some() {
+            self.prof.lap_total(Span::Tick, tick_t0);
+            self.prof.add_cycles(Span::Tick, 1);
+            self.prof.end_tick();
         }
         horizon
     }
@@ -661,11 +727,13 @@ impl Simulation {
                         payload: 0,
                     });
                 }
+                let mut pf = self.prof.stamp();
                 core.prefetcher.on_eviction(&EvictionInfo {
                     addr: ev.block << addr::BLOCK_BITS,
                     was_prefetch: ev.was_prefetch,
                     was_used: ev.was_used,
                 });
+                self.prof.lap(Span::PfFeedback, &mut pf);
                 if ev.dirty {
                     if let Some(ev2) = self.llc.fill(ev.block, FillKind::Demand, true) {
                         if ev2.dirty {
@@ -701,7 +769,9 @@ impl Simulation {
             }
             let core = &mut self.cores[i];
             if entry.origin == MissOrigin::Prefetch {
+                let mut pf = self.prof.stamp();
                 core.prefetcher.on_prefetch_fill(block << addr::BLOCK_BITS, FillLevel::L2);
+                self.prof.lap(Span::PfFeedback, &mut pf);
             }
             if entry.counted_demand {
                 core.demand_outstanding = core.demand_outstanding.saturating_sub(1);
@@ -892,6 +962,9 @@ impl Simulation {
     /// counter or state disturbed (the dispatch retries next cycle).
     fn start_demand(&mut self, i: usize, rec: &TraceRecord, cycle: u64) -> Demand {
         let telem = self.telemetry_active();
+        // `None` except during a sampled tick; stall paths leave the stamp
+        // unlapped (their time lands in retire_dispatch self time).
+        let mut ps = self.prof.stamp();
         let cfg = &self.cfg;
         let block = addr::block_number(rec.addr);
         let is_store = rec.kind == AccessKind::Store;
@@ -899,6 +972,7 @@ impl Simulation {
 
         // L1 hit: fast path (one set scan checks and commits the access).
         if core.l1d.demand_hit(block, is_store).is_some() {
+            self.prof.lap(Span::DemandLookup, &mut ps);
             return Demand::Done(cycle + cfg.l1d.latency);
         }
 
@@ -951,6 +1025,7 @@ impl Simulation {
             core.pf_stats.useful += 1;
             core.prefetcher.on_useful_prefetch(block << addr::BLOCK_BITS);
         }
+        self.prof.lap(Span::DemandLookup, &mut ps);
         let ctx = AccessContext {
             pc: rec.pc,
             addr: rec.addr,
@@ -980,6 +1055,7 @@ impl Simulation {
                 });
             }
         }
+        self.prof.lap(Span::CandidateGen, &mut ps);
         core.pf_stats.emitted += scratch.len() as u64;
         for req in scratch.drain(..) {
             // Dedup at enqueue: resident or in-flight targets never reach
@@ -1008,6 +1084,7 @@ impl Simulation {
             }
         }
         core.scratch = scratch;
+        self.prof.lap(Span::PfEnqueue, &mut ps);
 
         if out.hit {
             let done = cycle + l2_latency;
@@ -1017,6 +1094,7 @@ impl Simulation {
                     self.writeback_l1_victim(i, ev1.block, cycle);
                 }
             }
+            self.prof.lap(Span::DemandLookup, &mut ps);
             return Demand::Done(done);
         }
 
@@ -1041,6 +1119,7 @@ impl Simulation {
                 core.pf_stats.late_wait_cycles += remaining;
                 core.prefetcher.on_useful_prefetch(block << addr::BLOCK_BITS);
             }
+            self.prof.lap(Span::DemandLookup, &mut ps);
             return if is_store {
                 Demand::Done(cycle + 1) // store completes; fill proceeds
             } else {
@@ -1094,6 +1173,7 @@ impl Simulation {
                 e.counted_demand = true;
             }
         }
+        self.prof.lap(Span::DemandLookup, &mut ps);
         if is_store {
             Demand::Done(cycle + 1)
         } else {
@@ -1651,5 +1731,54 @@ mod tests {
         sim.run(5_000, 40_000);
         assert!(sim.all_interval_snapshots().is_empty());
         assert!(sim.event_trace().is_empty());
+    }
+
+    #[test]
+    fn profiling_off_records_nothing() {
+        use crate::prof::ProfConfig;
+        let trace = Box::new(SequentialStream::new(0x100_0000, 1 << 14, 0x400000, 2));
+        let mut sim = Simulation::new(small_cfg());
+        sim.add_core("seq", trace, Box::new(StreamAhead));
+        // Explicitly disabled (not from_env) so the test cannot race with a
+        // PPF_PROFILE set in the environment.
+        sim.set_profiling(ProfConfig::disabled());
+        sim.run(5_000, 40_000);
+        assert!(sim.profile_jsonl().is_empty());
+    }
+
+    /// With the feature compiled in and the runtime switch on, a run records
+    /// the root span (stride 1, covering the whole run) plus sampled tick
+    /// anatomy spans, and the root span accounts for the run's cycles.
+    #[cfg(feature = "profiling")]
+    #[test]
+    fn profiled_run_records_root_and_tick_spans() {
+        use crate::prof::{ProfConfig, Span};
+        let trace = Box::new(SequentialStream::new(0x100_0000, 1 << 14, 0x400000, 2));
+        let mut sim = Simulation::new(small_cfg());
+        sim.add_core("seq", trace, Box::new(StreamAhead));
+        sim.set_profiling(ProfConfig::enabled());
+        let report = sim.run(5_000, 40_000);
+
+        let prof = sim.profiler();
+        let root = prof.stat(Span::RunLoop);
+        assert_eq!(root.calls, 1, "run() records the root span exactly once");
+        assert!(root.wall_ns > 0);
+        assert!(root.cycles > 0);
+
+        let tick = prof.stat(Span::Tick);
+        assert!(tick.calls > 0, "sampled tick spans recorded");
+        // Each sampled tick accounts exactly one simulated cycle; the run
+        // executed far more cycles than the sample stride covers.
+        assert_eq!(tick.calls, tick.cycles);
+        assert!(report.cores[0].cycles >= tick.cycles);
+
+        // Sampled nested spans fire on every sampled tick.
+        assert!(prof.stat(Span::RetireDispatch).calls > 0);
+        assert!(prof.stat(Span::HorizonCompute).calls > 0);
+
+        // The export names every recorded span and carries the version tag.
+        let jsonl = sim.profile_jsonl();
+        assert!(jsonl.contains("\"span\":0"), "root span exported: {jsonl}");
+        assert!(jsonl.lines().all(|l| l.starts_with("{\"v\":1,")));
     }
 }

@@ -4,6 +4,7 @@
 #
 #   scripts/verify.sh             # build + clippy + tests + fault drill
 #                                 #   + horizon gate + telemetry gate
+#                                 #   + profile gate
 #   scripts/verify.sh --quick     # ... + fig09 smoke run with throughput
 #   scripts/verify.sh --bench     # ... + hot-path micro-benchmarks and the
 #                                 #       throughput comparison table
@@ -18,6 +19,11 @@
 #   scripts/verify.sh --serve     # serve gate only: chaos drill (fault
 #                                 #   injection + 10x spike + warm restart)
 #                                 #   and the socket round trip
+#   scripts/verify.sh --profile   # profile gate only: default build must
+#                                 #   ignore PPF_PROFILE byte-for-byte;
+#                                 #   profiled build must hold the <5%
+#                                 #   overhead budget, cover >=90% of wall
+#                                 #   time, and export schema-valid JSONL
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -154,6 +160,58 @@ run_serve_gate() {
     echo "serve gate: OK (drill passed, socket round trip clean)"
 }
 
+# Profile gate: the self-profiler must be invisible when compiled out and
+# honest when live. Three checks: (1) the default build's fig09 stdout is
+# byte-identical with and without PPF_PROFILE=1 — the runtime knob without
+# the feature must change nothing; (2) fig_profile (profiling build)
+# internally enforces the <5% overhead budget and >=90% span coverage and
+# exports profile JSONL; (3) that export re-validates through
+# `fig_profile --validate`, and the feature-on ppf-sim unit tests pass.
+# Runs last: step 2 rebuilds ppf-bench with the profiling feature, so every
+# default-build gate must already have run its binaries.
+run_profile_gate() {
+    echo "== profile gate: default build ignores PPF_PROFILE =="
+    prof_dir="$(mktemp -d)"
+    prof_bin="$(pwd)/target/release/fig09_single_core"
+    ( cd "$prof_dir" && PPF_CHECKPOINT_DIR="$prof_dir/off" \
+        "$prof_bin" --quick > "$prof_dir/off.out" 2>/dev/null ) \
+        || { echo "profile gate: fig09 (profile off) failed"; rm -rf "$prof_dir"; exit 1; }
+    ( cd "$prof_dir" && PPF_PROFILE=1 PPF_CHECKPOINT_DIR="$prof_dir/on" \
+        "$prof_bin" --quick > "$prof_dir/on.out" 2>/dev/null ) \
+        || { echo "profile gate: fig09 (PPF_PROFILE=1) failed"; rm -rf "$prof_dir"; exit 1; }
+    cmp -s "$prof_dir/off.out" "$prof_dir/on.out" \
+        || { echo "profile gate: PPF_PROFILE changed a default build's stdout"; \
+             diff "$prof_dir/off.out" "$prof_dir/on.out" | head -20; \
+             rm -rf "$prof_dir"; exit 1; }
+
+    echo "== profile gate: fig_profile --quick (overhead + coverage budgets) =="
+    cargo build --release -q -p ppf-bench --features profiling
+    PPF_PROFILE_DIR="$prof_dir/exports" PPF_CHECKPOINT_DIR="$prof_dir/fp" \
+        ./target/release/fig_profile --quick > "$prof_dir/profile.out" \
+        || { echo "profile gate: fig_profile failed its budgets"; \
+             cat "$prof_dir/profile.out"; rm -rf "$prof_dir"; exit 1; }
+    grep -E "^(wall:|span coverage:)" "$prof_dir/profile.out"
+    set -- "$prof_dir"/exports/*.jsonl
+    [ -e "$1" ] \
+        || { echo "profile gate: fig_profile exported no JSONL"; \
+             rm -rf "$prof_dir"; exit 1; }
+    ./target/release/fig_profile --validate "$@" \
+        || { echo "profile gate: export schema validation failed"; \
+             rm -rf "$prof_dir"; exit 1; }
+    rm -rf "$prof_dir"
+
+    echo "== profile gate: feature-on unit tests =="
+    cargo test -q -p ppf-sim --features profiling
+    echo "profile gate: OK (off byte-identical, on within budget, exports valid)"
+}
+
+if [ "$mode" = "--profile" ]; then
+    cargo build --release -q -p ppf-bench
+    run_profile_gate
+    echo "verify: OK"
+    exit 0
+fi
+
 if [ "$mode" = "--serve" ]; then
     cargo build --release -q -p ppf-serve
     run_serve_gate
@@ -222,5 +280,7 @@ if [ "$mode" = "--bench" ]; then
 fi
 
 run_telemetry_gate
+
+run_profile_gate
 
 echo "verify: OK"

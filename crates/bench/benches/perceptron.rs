@@ -17,6 +17,7 @@ fn inputs(i: u64) -> FeatureInputs {
         confidence: (i % 101) as u8,
         delta: ((i % 63) as i16) - 31,
         depth: (i % 16) as u8 + 1,
+        source: (i % 3) as u8,
     }
 }
 

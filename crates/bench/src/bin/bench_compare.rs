@@ -95,6 +95,14 @@ fn group_cells(records: Vec<Record>) -> BTreeMap<(String, u64), Vec<Record>> {
     by_cell
 }
 
+/// Cells holding at least two records — the only cells the table can
+/// actually diff. When this is zero the whole run compared *nothing*, which
+/// must be reported loudly rather than printed as an innocuous-looking
+/// table of single-record rows.
+fn comparable_pairs(by_cell: &BTreeMap<(String, u64), Vec<Record>>) -> usize {
+    by_cell.values().filter(|runs| runs.len() >= 2).count()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fail_on_regression = false;
@@ -201,6 +209,21 @@ fn main() {
         }
     }
 
+    if comparable_pairs(&by_cell) == 0 {
+        eprintln!(
+            "bench_compare: WARNING: no comparable pairs — every (experiment, \
+             simulated_instructions) cell holds a single record, so nothing was \
+             compared (and nothing can gate). Re-run an experiment at the same \
+             scale to produce a pair."
+        );
+        // Distinct from 1 (regression found) and 2 (usage/IO error): the
+        // gate was asked to judge a comparison that never happened.
+        if fail_on_regression {
+            std::process::exit(3);
+        }
+        return;
+    }
+
     if !regressed.is_empty() {
         eprintln!(
             "bench_compare: >{:.0}% regression in: {}",
@@ -267,6 +290,27 @@ mod tests {
         let recs = parse_log(text);
         assert_eq!(recs[0].skip_ratio, None, "pre-v4 record must stay parseable");
         assert!((recs[1].skip_ratio.unwrap() - 0.8125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comparable_pairs_counts_only_diffable_cells() {
+        // Three single-record cells: a table full of rows, zero comparisons.
+        let text = "[\n\
+            {\"experiment\":\"fig09\",\"threads\":1,\"simulated_instructions\":10,\"instr_per_second\":1,\"unix_time\":0},\n\
+            {\"experiment\":\"fig09\",\"threads\":1,\"simulated_instructions\":20,\"instr_per_second\":1,\"unix_time\":1},\n\
+            {\"experiment\":\"fig11\",\"threads\":1,\"simulated_instructions\":10,\"instr_per_second\":1,\"unix_time\":2}\n\
+            ]\n";
+        let cells = group_cells(parse_log(text));
+        assert_eq!(cells.len(), 3);
+        assert_eq!(comparable_pairs(&cells), 0, "single records never pair");
+
+        // A second record at the same (experiment, size) makes one pair.
+        let text2 = format!(
+            "{}{}",
+            text,
+            "{\"experiment\":\"fig09\",\"threads\":1,\"simulated_instructions\":10,\"instr_per_second\":2,\"unix_time\":3}\n"
+        );
+        assert_eq!(comparable_pairs(&group_cells(parse_log(&text2))), 1);
     }
 
     #[test]

@@ -36,6 +36,10 @@ pub struct FeatureInputs {
     pub delta: i16,
     /// Lookahead depth of the candidate.
     pub depth: u8,
+    /// Which scheme in a composed (hybrid) source produced the candidate;
+    /// 0 for bare single-scheme sources. Consumed by the opt-in
+    /// [`FeatureKind::SourceId`] table, ignored by the paper's nine.
+    pub source: u8,
 }
 
 /// 7-bit sign-magnitude delta encoding (shared with SPP's signature hash).
@@ -76,6 +80,11 @@ pub enum FeatureKind {
     RawPc,
     /// REJECTED: the depth alone.
     DepthAlone,
+    /// Which member of a composed (hybrid) source produced the candidate —
+    /// lets the perceptron learn a per-scheme trust bias. Not in the
+    /// paper's nine (meaningless for a single source); added by
+    /// [`FeatureKind::hybrid_set`].
+    SourceId,
 }
 
 impl FeatureKind {
@@ -94,6 +103,16 @@ impl FeatureKind {
         ]
     }
 
+    /// The paper's nine plus [`FeatureKind::SourceId`], for filtering fused
+    /// multi-scheme streams (see `ppf_prefetchers::Hybrid`). With a bare
+    /// source every candidate indexes row 0 of the source table, so the
+    /// extra feature degenerates to a shared bias weight.
+    pub fn hybrid_set() -> Vec<FeatureKind> {
+        let mut set = Self::default_set();
+        set.push(FeatureKind::SourceId);
+        set
+    }
+
     /// Index bits for this feature's weight table (paper Table 3 allocation:
     /// high-correlation features get more entries, Sec 5.5).
     pub fn table_bits(self) -> u32 {
@@ -108,6 +127,8 @@ impl FeatureKind {
             FeatureKind::LastSignature => 12,
             FeatureKind::RawPc => 10,
             FeatureKind::DepthAlone => 4,
+            // One row per possible ensemble member (MAX_SOURCES = 8).
+            FeatureKind::SourceId => 3,
         }
     }
 
@@ -131,6 +152,7 @@ impl FeatureKind {
             FeatureKind::LastSignature => "last_signature",
             FeatureKind::RawPc => "raw_pc",
             FeatureKind::DepthAlone => "depth",
+            FeatureKind::SourceId => "source_id",
         }
     }
 
@@ -152,6 +174,7 @@ impl FeatureKind {
             FeatureKind::LastSignature => u64::from(f.last_signature),
             FeatureKind::RawPc => f.trigger_pc >> 2,
             FeatureKind::DepthAlone => u64::from(f.depth),
+            FeatureKind::SourceId => u64::from(f.source),
         };
         (raw as usize) & mask
     }
@@ -248,6 +271,7 @@ mod tests {
             confidence: 87,
             delta: -3,
             depth: 4,
+            source: 0,
         }
     }
 
@@ -363,6 +387,28 @@ mod tests {
         let mut l = IndexList::new();
         for i in 0..=MAX_FEATURES {
             l.push(i as u32);
+        }
+    }
+
+    #[test]
+    fn hybrid_set_is_the_nine_plus_source_id() {
+        let set = FeatureKind::hybrid_set();
+        assert_eq!(set.len(), 10);
+        assert_eq!(set[..9], FeatureKind::default_set()[..]);
+        assert_eq!(set[9], FeatureKind::SourceId);
+        assert_eq!(FeatureKind::SourceId.table_entries(), 8);
+    }
+
+    #[test]
+    fn source_id_feature_is_direct() {
+        let mut f = sample();
+        assert_eq!(FeatureKind::SourceId.index(&f), 0, "bare sources share row 0");
+        f.source = 3;
+        assert_eq!(FeatureKind::SourceId.index(&f), 3);
+        // The paper's nine never read provenance: indices are unchanged.
+        let a = sample();
+        for k in FeatureKind::default_set() {
+            assert_eq!(k.index(&a), k.index(&f), "{} must ignore source", k.label());
         }
     }
 

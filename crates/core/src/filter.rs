@@ -5,6 +5,7 @@ use crate::features::{index_list, FeatureInputs, FeatureKind, IndexList};
 use crate::introspect::DecisionTelemetry;
 use crate::perceptron::{Perceptron, WeightList};
 use crate::tables::MetaTable;
+use ppf_prefetchers::MAX_SOURCES;
 use ppf_sim::addr::block_number;
 
 /// Most candidates one [`ScoredBatch`] holds (and the most one
@@ -98,6 +99,16 @@ impl Default for PpfConfig {
     }
 }
 
+impl PpfConfig {
+    /// Configuration for filtering a fused multi-scheme stream (see
+    /// `ppf_prefetchers::Hybrid`): the default thresholds and tables with
+    /// [`FeatureKind::hybrid_set`], so the perceptron carries a per-source
+    /// trust table on top of the paper's nine features.
+    pub fn hybrid() -> Self {
+        Self { features: FeatureKind::hybrid_set(), ..Self::default() }
+    }
+}
+
 /// Filter counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FilterStats {
@@ -118,6 +129,12 @@ pub struct FilterStats {
     /// Negative trainings triggered by table replacement (a prefetch entry
     /// displaced before any demand used it).
     pub replacement_trains: u64,
+    /// Accepted candidates (either fill level) per originating scheme,
+    /// indexed by `FeatureInputs::source` (clamped to the last bucket).
+    /// Bare sources land entirely in bucket 0; hybrids spread by member.
+    pub accepted_by_source: [u64; MAX_SOURCES],
+    /// Rejected candidates per originating scheme.
+    pub rejected_by_source: [u64; MAX_SOURCES],
 }
 
 /// One logged training event: the weights read at inference time for each
@@ -148,6 +165,9 @@ pub struct ScoredBatch {
     epoch: u64,
     sums: [i32; MAX_BATCH],
     indices: [IndexList; MAX_BATCH],
+    /// Per-candidate provenance, carried so [`PpfFilter::judge_scored`]
+    /// attributes its decision counters exactly like the sequential path.
+    sources: [u8; MAX_BATCH],
 }
 
 impl Default for ScoredBatch {
@@ -157,6 +177,7 @@ impl Default for ScoredBatch {
             epoch: 0,
             sums: [0; MAX_BATCH],
             indices: [IndexList::default(); MAX_BATCH],
+            sources: [0; MAX_BATCH],
         }
     }
 }
@@ -283,6 +304,16 @@ impl PpfFilter {
         self.prefetch_table.lookup(block_number(addr)).map(|e| e.inputs.depth)
     }
 
+    /// The provenance (`FeatureInputs::source`) recorded for a tracked
+    /// (accepted) prefetch of this address, if any. This is how the wrapper
+    /// resolves address-keyed cache feedback back to the originating scheme
+    /// of a composed source: attribution is *first-issuer wins*, because
+    /// [`MetaTable::record`] keeps a pending same-tag entry over a later
+    /// re-record of the same block.
+    pub fn tracked_source(&self, addr: u64) -> Option<u8> {
+        self.prefetch_table.lookup(block_number(addr)).map(|e| e.inputs.source)
+    }
+
     /// FNV-1a digest of the weight arena (see
     /// [`Perceptron::weights_digest`]).
     pub fn weights_digest(&self) -> u64 {
@@ -339,23 +370,27 @@ impl PpfFilter {
     pub fn infer_indexed(&mut self, inputs: &FeatureInputs) -> (Decision, i32, IndexList) {
         let idxs = self.index(inputs);
         let sum = self.perceptron.sum_at(&idxs);
-        let decision = self.judge(sum, &idxs);
+        let decision = self.judge(sum, &idxs, inputs.source);
         (decision, sum, idxs)
     }
 
-    /// Thresholds an inference sum and commits the decision: counters and
-    /// the telemetry hook. Shared tail of [`PpfFilter::infer_indexed`] and
-    /// [`PpfFilter::judge_scored`].
-    fn judge(&mut self, sum: i32, idxs: &IndexList) -> Decision {
+    /// Thresholds an inference sum and commits the decision: counters
+    /// (aggregate and per-source) and the telemetry hook. Shared tail of
+    /// [`PpfFilter::infer_indexed`] and [`PpfFilter::judge_scored`].
+    fn judge(&mut self, sum: i32, idxs: &IndexList, source: u8) -> Decision {
         self.stats.inferences += 1;
+        let src = usize::from(source).min(MAX_SOURCES - 1);
         let decision = if sum >= self.cfg.tau_hi {
             self.stats.accepted_l2 += 1;
+            self.stats.accepted_by_source[src] += 1;
             Decision::PrefetchL2
         } else if sum >= self.cfg.tau_lo {
             self.stats.accepted_llc += 1;
+            self.stats.accepted_by_source[src] += 1;
             Decision::PrefetchLlc
         } else {
             self.stats.rejected += 1;
+            self.stats.rejected_by_source[src] += 1;
             Decision::Reject
         };
         // Double-gated: without the feature the cfg! folds the whole hook
@@ -387,8 +422,9 @@ impl PpfFilter {
         assert!(inputs.len() <= MAX_BATCH, "batch of {} exceeds MAX_BATCH", inputs.len());
         batch.len = inputs.len();
         batch.epoch = self.perceptron.epoch();
-        for (slot, inp) in batch.indices.iter_mut().zip(inputs) {
-            *slot = self.index(inp);
+        for (i, inp) in inputs.iter().enumerate() {
+            batch.indices[i] = self.index(inp);
+            batch.sources[i] = inp.source;
         }
         self.perceptron.sum_batch(&batch.indices[..batch.len], &mut batch.sums[..batch.len]);
     }
@@ -414,7 +450,7 @@ impl PpfFilter {
             batch.sums[i]
         };
         let idxs = batch.indices[i];
-        let decision = self.judge(sum, &idxs);
+        let decision = self.judge(sum, &idxs, batch.sources[i]);
         (decision, sum, idxs)
     }
 
@@ -716,6 +752,34 @@ mod tests {
         f.infer(&inputs(0x9000, 10));
         assert_eq!(f.stats.inferences, 1);
         assert_eq!(f.stats.accepted_l2, 1);
+    }
+
+    #[test]
+    fn per_source_counters_follow_provenance() {
+        let mut f = PpfFilter::new(PpfConfig::hybrid());
+        let i0 = inputs(0xA000, 80);
+        let mut i1 = inputs(0xA040, 80);
+        i1.source = 1;
+        let mut far = inputs(0xA080, 80);
+        far.source = 250; // out of range: clamps to the last bucket
+        f.infer(&i0);
+        f.infer(&i1);
+        f.infer(&i1);
+        f.infer(&far);
+        assert_eq!(f.stats.accepted_by_source[0], 1);
+        assert_eq!(f.stats.accepted_by_source[1], 2);
+        assert_eq!(f.stats.accepted_by_source[MAX_SOURCES - 1], 1);
+        assert_eq!(f.stats.rejected_by_source, [0; MAX_SOURCES]);
+
+        // The batched path attributes identically.
+        let mut b = PpfFilter::new(PpfConfig::hybrid());
+        let window = [i0, i1, i1, far];
+        let mut batch = ScoredBatch::default();
+        b.infer_batch(&window, &mut batch);
+        for j in 0..window.len() {
+            b.judge_scored(&mut batch, j);
+        }
+        assert_eq!(b.stats, f.stats);
     }
 
     #[test]

@@ -286,6 +286,30 @@ pub fn render_report(filter: &PpfFilter) -> String {
     }
 
     let s = &filter.stats;
+    // Per-source attribution only means something for fused (hybrid)
+    // streams: bare sources put every decision in slot 0, so the block is
+    // suppressed to keep single-source reports byte-stable.
+    let multi_source = s
+        .accepted_by_source
+        .iter()
+        .zip(&s.rejected_by_source)
+        .skip(1)
+        .any(|(&a, &r)| a + r > 0);
+    if multi_source {
+        let _ = writeln!(out, "  per-source decisions:");
+        let _ = writeln!(out, "    {:<8} {:>10} {:>10} {:>8}", "source", "accepted", "rejected", "acc%");
+        for (i, (&a, &r)) in
+            s.accepted_by_source.iter().zip(&s.rejected_by_source).enumerate()
+        {
+            if a + r > 0 {
+                let _ = writeln!(
+                    out,
+                    "    {i:<8} {a:>10} {r:>10} {:>7.1}%",
+                    a as f64 / (a + r) as f64 * 100.0
+                );
+            }
+        }
+    }
     let _ = writeln!(
         out,
         "  reject-table recoveries: {} (of {} rejects); replacement trains: {}",
@@ -350,6 +374,24 @@ mod tests {
         assert!(pinned > 0, "negative training should pin some weights at the rail");
         let nonzero: usize = rows.iter().map(|r| r.nonzero).sum();
         assert!(nonzero >= pinned);
+    }
+
+    #[test]
+    fn per_source_block_only_renders_for_fused_streams() {
+        let mut f = PpfFilter::default();
+        let i0 = inputs(0x3000, 50);
+        let (d, sum) = f.infer(&i0);
+        f.record(0x3000, i0, sum, d);
+        assert!(
+            !render_report(&f).contains("per-source decisions"),
+            "bare-source reports must stay byte-stable"
+        );
+        let i1 = FeatureInputs { source: 1, ..inputs(0x4000, 50) };
+        let (d, sum) = f.infer(&i1);
+        f.record(0x4000, i1, sum, d);
+        let report = render_report(&f);
+        assert!(report.contains("per-source decisions"), "{report}");
+        assert!(report.contains("source"), "{report}");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! coverage, so its performance impact is small.
 
 use crate::features::FeatureInputs;
-use ppf_prefetchers::{Candidate, LookaheadSource};
+use ppf_prefetchers::{Candidate, Feedback, LookaheadSource};
 use ppf_sim::{AccessContext, EvictionInfo, FillLevel, Prefetcher, PrefetchRequest};
 
 /// Number of binary inputs: 16 address bits + 12 PC bits + 7 delta bits
@@ -198,7 +198,9 @@ impl<S: LookaheadSource> Prefetcher for RosenblattFilter<S> {
     }
 
     fn on_useful_prefetch(&mut self, addr: u64) {
-        self.source.on_useful_prefetch(addr);
+        // No provenance tracking here: the classic design predates source
+        // attribution, so feedback reaches the source unattributed.
+        self.source.on_useful_prefetch(Feedback::unattributed(addr));
         self.resolve(addr, true);
     }
 
@@ -215,7 +217,7 @@ impl<S: LookaheadSource> Prefetcher for RosenblattFilter<S> {
     }
 
     fn on_prefetch_fill(&mut self, addr: u64, _level: FillLevel) {
-        self.source.on_prefetch_fill(addr);
+        self.source.on_prefetch_fill(Feedback::unattributed(addr));
     }
 
     fn name(&self) -> &'static str {
@@ -226,7 +228,7 @@ impl<S: LookaheadSource> Prefetcher for RosenblattFilter<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppf_prefetchers::CandidateMeta;
+    use ppf_prefetchers::{CandidateMeta, SourceId};
 
     struct OneAhead;
     impl LookaheadSource for OneAhead {
@@ -240,6 +242,7 @@ mod tests {
                     delta: 1,
                     trigger_pc: ctx.pc,
                     trigger_addr: ctx.addr,
+                    source: SourceId::PRIMARY,
                 },
             });
         }
@@ -310,6 +313,7 @@ mod tests {
                         delta: 1,
                         trigger_pc: ctx.pc,
                         trigger_addr: ctx.addr,
+                        source: SourceId::PRIMARY,
                     },
                 });
             }

@@ -10,7 +10,9 @@
 
 use crate::features::FeatureInputs;
 use crate::filter::{Decision, FilterStats, PpfConfig, PpfFilter, ScoredBatch, MAX_BATCH};
-use ppf_prefetchers::{depth_window_len, Candidate, LookaheadSource};
+use ppf_prefetchers::{
+    depth_window_len, Candidate, Feedback, LookaheadSource, SourceId, MAX_SOURCES,
+};
 use ppf_sim::{
     AccessContext, EvictionInfo, FillLevel, FilterCounters, Prefetcher, PrefetchRequest,
 };
@@ -34,6 +36,13 @@ pub struct PpfStats {
     pub rejected_by_depth: [u64; DEPTH_BUCKETS],
     /// Useful outcomes per depth (first demand use of a tracked prefetch).
     pub useful_by_depth: [u64; DEPTH_BUCKETS],
+    /// Useful outcomes per originating scheme, resolved from the
+    /// issued-prefetch tracking (first-issuer wins). Bare sources land in
+    /// bucket 0; hybrids spread by member.
+    pub useful_by_source: [u64; MAX_SOURCES],
+    /// Useful outcomes whose tracking entry was already displaced, so no
+    /// scheme could be credited (the feedback was broadcast).
+    pub unattributed_useful: u64,
 }
 
 impl Default for PpfStats {
@@ -45,6 +54,8 @@ impl Default for PpfStats {
             accepted_by_depth: [0; DEPTH_BUCKETS],
             rejected_by_depth: [0; DEPTH_BUCKETS],
             useful_by_depth: [0; DEPTH_BUCKETS],
+            useful_by_source: [0; MAX_SOURCES],
+            unattributed_useful: 0,
         }
     }
 }
@@ -161,9 +172,25 @@ impl<S: LookaheadSource> Ppf<S> {
             pc_3: self.pc_history[2],
             signature: c.meta.signature,
             last_signature,
-            confidence: c.meta.confidence,
+            // Boundary clamp: `FeatureInputs.confidence` is documented
+            // 0..=100, and an out-of-range value would silently index the
+            // wrong row of the 128-entry confidence table. Well-behaved
+            // sources already construct via `Candidate::new` (which asserts
+            // in debug); this keeps literal-built candidates honest too.
+            confidence: c.meta.confidence.min(100),
             delta: c.meta.delta,
             depth: c.meta.depth,
+            source: c.meta.source.0,
+        }
+    }
+
+    /// Resolves address-keyed cache feedback to the provenance recorded for
+    /// the issued prefetch, falling back to broadcast when the tracking
+    /// entry is gone.
+    fn resolve_feedback(&self, addr: u64) -> Feedback {
+        match self.filter.tracked_source(addr) {
+            Some(src) => Feedback { addr, source: SourceId(src) },
+            None => Feedback::unattributed(addr),
         }
     }
 }
@@ -233,10 +260,20 @@ impl<S: LookaheadSource> Prefetcher for Ppf<S> {
     }
 
     fn on_useful_prefetch(&mut self, addr: u64) {
-        // Forward to the source (SPP's global-accuracy α) and train.
-        self.source.on_useful_prefetch(addr);
+        // Resolve provenance from the issued-prefetch tracking *before* any
+        // training touches the tables, then forward to the source (SPP's
+        // global-accuracy α). Routing by recorded provenance — not by
+        // address match inside the source — is what keeps credit with the
+        // scheme that actually issued the prefetch when several members of
+        // a hybrid predicted the same block.
+        let fb = self.resolve_feedback(addr);
+        self.source.on_useful_prefetch(fb);
         if let Some(depth) = self.filter.tracked_depth(addr) {
             self.stats.useful_by_depth[bucket(depth)] += 1;
+        }
+        match fb.source.counter_index() {
+            Some(i) => self.stats.useful_by_source[i] += 1,
+            None => self.stats.unattributed_useful += 1,
         }
         self.filter.train_on_demand(addr);
     }
@@ -248,8 +285,10 @@ impl<S: LookaheadSource> Prefetcher for Ppf<S> {
     }
 
     fn on_prefetch_fill(&mut self, addr: u64, _level: FillLevel) {
-        // Keep the source's global-accuracy denominator honest.
-        self.source.on_prefetch_fill(addr);
+        // Keep the source's global-accuracy denominator honest, crediting
+        // the member that issued the fill when provenance is still tracked.
+        let fb = self.resolve_feedback(addr);
+        self.source.on_prefetch_fill(fb);
     }
 
     fn on_llc_eviction(&mut self, info: &EvictionInfo) {
@@ -303,6 +342,7 @@ mod tests {
                 delta,
                 trigger_pc: ctx.pc,
                 trigger_addr: ctx.addr,
+                source: SourceId::PRIMARY,
             };
             out.push(Candidate { addr: ctx.addr + 64, meta: meta(1, 90, 1) });
             out.push(Candidate { addr: ctx.addr + 4096 * 8, meta: meta(4, 15, 63) });
@@ -388,6 +428,150 @@ mod tests {
         let ppf = Ppf::with_config(TwoFaced, cfg);
         assert_eq!(ppf.batch_window(), MAX_BATCH);
         assert_eq!(ppf.filter_counters().batch_window, MAX_BATCH as u64);
+    }
+
+    /// A source that pushes one literal candidate per access at a fixed
+    /// confidence, bypassing `Candidate::new`'s construction-time clamp.
+    struct RawConf(u8);
+
+    impl LookaheadSource for RawConf {
+        fn candidates(&mut self, ctx: &AccessContext, out: &mut Vec<Candidate>) {
+            out.push(Candidate {
+                addr: ctx.addr + 64,
+                meta: CandidateMeta {
+                    depth: 1,
+                    signature: 0x222,
+                    confidence: self.0,
+                    delta: 1,
+                    trigger_pc: ctx.pc,
+                    trigger_addr: ctx.addr,
+                    source: SourceId::PRIMARY,
+                },
+            });
+        }
+        fn name(&self) -> &'static str {
+            "raw-conf"
+        }
+    }
+
+    /// Regression pin: `FeatureInputs.confidence` is documented 0..=100 but
+    /// the `LookaheadSource` boundary used to pass raw values through, so an
+    /// out-of-range confidence silently indexed the wrong row of the
+    /// 128-entry confidence table. The wrapper now clamps at input
+    /// construction: a misbehaving source is bit-identical to the same
+    /// source clamped to 100.
+    #[test]
+    fn out_of_range_confidence_clamps_at_the_filter_boundary() {
+        let run = |conf: u8| {
+            let mut ppf = Ppf::new(RawConf(conf));
+            let mut all = Vec::new();
+            for i in 0..300u64 {
+                let addr = 0x30_0000 + i * 64;
+                ppf.on_demand_access(&ctx(0x400, addr), &mut all);
+                if i % 3 == 0 {
+                    ppf.on_eviction(&EvictionInfo {
+                        addr: addr + 64,
+                        was_prefetch: true,
+                        was_used: false,
+                    });
+                }
+            }
+            (all, ppf.filter_stats(), ppf.filter().save_weights())
+        };
+        assert_eq!(run(250), run(100), "251 candidates must index the conf-100 row");
+    }
+
+    /// Counts provenance-routed feedback events (the member schemes of the
+    /// hybrid in the mis-attribution pin below).
+    struct Counting {
+        name: &'static str,
+        useful: std::rc::Rc<std::cell::Cell<u32>>,
+        fills: std::rc::Rc<std::cell::Cell<u32>>,
+    }
+
+    impl LookaheadSource for Counting {
+        fn candidates(&mut self, ctx: &AccessContext, out: &mut Vec<Candidate>) {
+            // Every member predicts the SAME next block.
+            out.push(Candidate::new(
+                ctx.addr + 64,
+                CandidateMeta {
+                    depth: 1,
+                    signature: 0x333,
+                    confidence: 90,
+                    delta: 1,
+                    trigger_pc: ctx.pc,
+                    trigger_addr: ctx.addr,
+                    source: SourceId::PRIMARY,
+                },
+            ));
+        }
+        fn on_useful_prefetch(&mut self, _fb: Feedback) {
+            self.useful.set(self.useful.get() + 1);
+        }
+        fn on_prefetch_fill(&mut self, _fb: Feedback) {
+            self.fills.set(self.fills.get() + 1);
+        }
+        fn name(&self) -> &'static str {
+            self.name
+        }
+    }
+
+    /// Bugfix pin for address-only feedback mis-attribution: when two
+    /// members of a hybrid (an SPP-like and a BOP-like stream here) predict
+    /// the same block, `on_useful_prefetch(addr)` used to credit whichever
+    /// source matched the address. Credit must instead follow the recorded
+    /// provenance of the issued prefetch — first-issuer wins, exactly one
+    /// member credited.
+    #[test]
+    fn shared_address_credit_goes_to_the_issuing_member() {
+        use ppf_prefetchers::Hybrid;
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        type Counters = Vec<(Rc<Cell<u32>>, Rc<Cell<u32>>)>;
+        let counters: Counters =
+            (0..2).map(|_| (Rc::new(Cell::new(0)), Rc::new(Cell::new(0)))).collect();
+        let hybrid = Hybrid::new(vec![
+            Box::new(Counting {
+                name: "spp-like",
+                useful: counters[0].0.clone(),
+                fills: counters[0].1.clone(),
+            }),
+            Box::new(Counting {
+                name: "bop-like",
+                useful: counters[1].0.clone(),
+                fills: counters[1].1.clone(),
+            }),
+        ]);
+        let mut ppf = Ppf::new(hybrid);
+        let mut out = Vec::new();
+        ppf.on_demand_access(&ctx(0x400, 0x10_0000), &mut out);
+        // Cold filter accepts both candidates (the simulator's prefetch
+        // queue dedups the duplicate address); the tracking table keeps the
+        // FIRST issuer's provenance for the shared block.
+        assert_eq!(out.len(), 2);
+        assert_eq!(ppf.filter().tracked_source(0x10_0040), Some(0));
+
+        // The prefetched block proves useful: exactly the first issuer
+        // (member 0) is credited, not both and not the address-matching one.
+        ppf.on_useful_prefetch(0x10_0040);
+        assert_eq!(counters[0].0.get(), 1, "issuing member must be credited");
+        assert_eq!(counters[1].0.get(), 0, "non-issuing member must not be credited");
+        assert_eq!(ppf.stats.useful_by_source[0], 1);
+        assert_eq!(ppf.stats.useful_by_source[1], 0);
+        assert_eq!(ppf.stats.unattributed_useful, 0);
+
+        // Fill feedback routes by the same provenance.
+        ppf.on_prefetch_fill(0x10_0040, FillLevel::L2);
+        assert_eq!(counters[0].1.get(), 1);
+        assert_eq!(counters[1].1.get(), 0);
+
+        // Feedback for an address with no tracking entry broadcasts to all
+        // members (the fail-open path) and counts as unattributed.
+        ppf.on_useful_prefetch(0x77_0000);
+        assert_eq!(counters[0].0.get(), 2);
+        assert_eq!(counters[1].0.get(), 1);
+        assert_eq!(ppf.stats.unattributed_useful, 1);
     }
 
     /// The depth-window size is a pure scheduling knob: any value must

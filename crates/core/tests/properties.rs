@@ -13,8 +13,9 @@ fn arb_inputs() -> impl Strategy<Value = FeatureInputs> {
         0u8..=100,
         -63i16..=63,
         1u8..=32,
+        any::<u8>(),
     )
-        .prop_map(|(addr, pc, sig, conf, delta, depth)| FeatureInputs {
+        .prop_map(|(addr, pc, sig, conf, delta, depth, source)| FeatureInputs {
             trigger_addr: addr,
             trigger_pc: pc,
             pc_1: pc ^ 0x40,
@@ -25,6 +26,7 @@ fn arb_inputs() -> impl Strategy<Value = FeatureInputs> {
             confidence: conf,
             delta,
             depth,
+            source,
         })
 }
 
@@ -45,6 +47,7 @@ proptest! {
             FeatureKind::LastSignature,
             FeatureKind::RawPc,
             FeatureKind::DepthAlone,
+            FeatureKind::SourceId,
         ] {
             prop_assert!(k.index(&inputs) < k.table_entries(), "{}", k.label());
         }
@@ -105,6 +108,7 @@ proptest! {
                             delta: i16::from(d),
                             trigger_pc: ctx.pc,
                             trigger_addr: ctx.addr,
+                            source: ppf_prefetchers::SourceId::PRIMARY,
                         },
                     });
                 }

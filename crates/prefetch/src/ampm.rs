@@ -10,6 +10,7 @@
 //! The DRAM-aware refinement issues same-DRAM-row candidates first, so the
 //! row buffer absorbs bursts (improves effective bandwidth).
 
+use crate::lookahead::{Candidate, CandidateMeta, LookaheadSource, SourceId};
 use ppf_sim::addr::{page_number, page_offset_blocks, BLOCKS_PER_PAGE, BLOCK_SIZE};
 use ppf_sim::{AccessContext, FillLevel, Prefetcher, PrefetchRequest};
 
@@ -152,6 +153,89 @@ impl Prefetcher for DaAmpm {
 
     fn name(&self) -> &'static str {
         "da-ampm"
+    }
+}
+
+impl LookaheadSource for DaAmpm {
+    /// Unthrottled candidate stream for composition under an external
+    /// filter. Unlike the throttled [`Prefetcher`] path (which sorts for
+    /// DRAM-row order), candidates are emitted shallow-depth-first across
+    /// all matched strides, with per-candidate stride/depth metadata so the
+    /// filter's delta and depth features discriminate.
+    fn candidates(&mut self, ctx: &AccessContext, out: &mut Vec<Candidate>) {
+        let page = page_number(ctx.addr);
+        let t = page_offset_blocks(ctx.addr) as i32;
+        let max_stride = self.cfg.max_stride;
+        let degree = self.cfg.degree;
+        let max_out = self.cfg.max_per_trigger;
+        let zone = self.zone_mut(page);
+        zone.map |= 1u64 << t;
+        let map = zone.map;
+        let page_base = ctx.addr & !0xFFFu64;
+
+        if map.count_ones() < 3 {
+            return;
+        }
+        let below = map & ((1u64 << t) - 1);
+        let above = (map >> t) >> 1;
+        let bit = |i: i32| -> bool { (i as u32) < BLOCKS_PER_PAGE as u32 && (map >> i) & 1 == 1 };
+
+        // First pass: which strides are established at this trigger?
+        let mut strides = [0i32; 64];
+        let mut n_strides = 0usize;
+        for k in 1..=max_stride {
+            for s in [k, -k] {
+                if if s > 0 { below == 0 } else { above == 0 } {
+                    continue;
+                }
+                if bit(t - s) && bit(t - 2 * s) && n_strides < strides.len() {
+                    strides[n_strides] = s;
+                    n_strides += 1;
+                }
+            }
+        }
+
+        // Second pass: emit depth-first (all matched strides at depth 1,
+        // then depth 2, …), deduplicating targets by page offset so two
+        // strides predicting the same block keep the shallower candidate.
+        let mut emitted_mask = 0u64;
+        let mut emitted = 0usize;
+        'depths: for d in 1..=degree as i32 {
+            for &s in &strides[..n_strides] {
+                let target = t + s * d;
+                if (target as u32) >= BLOCKS_PER_PAGE as u32 || bit(target) {
+                    continue;
+                }
+                if emitted_mask >> target & 1 == 1 {
+                    continue;
+                }
+                emitted_mask |= 1 << target;
+                out.push(Candidate::new(
+                    page_base + target as u64 * BLOCK_SIZE,
+                    CandidateMeta {
+                        depth: d as u8,
+                        // Encode the stride (sign folded into 7 bits) so
+                        // signature features separate stride regimes.
+                        signature: 0xA00 | (s as i16 as u16 & 0x7F),
+                        // AMPM has no native confidence: decay a fixed base
+                        // with speculation depth.
+                        confidence: (90 - 15 * (d - 1)).clamp(10, 100) as u8,
+                        delta: (s * d) as i16,
+                        trigger_pc: ctx.pc,
+                        trigger_addr: ctx.addr,
+                        source: SourceId::PRIMARY,
+                    },
+                ));
+                emitted += 1;
+                if emitted >= max_out {
+                    break 'depths;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "da-ampm-unthrottled"
     }
 }
 

@@ -4,6 +4,7 @@
 //! suite and the examples (and historically the starting point of the field,
 //! paper Sec 2).
 
+use crate::lookahead::{Candidate, CandidateMeta, LookaheadSource, SourceId};
 use ppf_sim::addr::{block_number, page_number, BLOCK_SIZE};
 use ppf_sim::{AccessContext, FillLevel, Prefetcher, PrefetchRequest};
 
@@ -74,6 +75,34 @@ impl StridePrefetcher {
         assert!(degree > 0, "degree must be positive");
         Self { table: vec![StrideEntry::default(); entries], degree }
     }
+
+    /// Table update shared by the throttled and unthrottled paths. Returns
+    /// the trigger block plus the entry's current stride and 2-bit
+    /// confidence once a PC has any history, `None` on first touch or a
+    /// same-block repeat.
+    fn update(&mut self, ctx: &AccessContext) -> Option<(u64, i64, u8)> {
+        let idx = (ctx.pc as usize >> 2) & (self.table.len() - 1);
+        let block = block_number(ctx.addr);
+        let e = &mut self.table[idx];
+        if !e.valid || e.tag != ctx.pc {
+            *e = StrideEntry { valid: true, tag: ctx.pc, last_block: block, stride: 0, confidence: 0 };
+            return None;
+        }
+        let stride = block as i64 - e.last_block as i64;
+        if stride == 0 {
+            return None;
+        }
+        if stride == e.stride {
+            e.confidence = (e.confidence + 1).min(3);
+        } else {
+            e.confidence = e.confidence.saturating_sub(1);
+            if e.confidence == 0 {
+                e.stride = stride;
+            }
+        }
+        e.last_block = block;
+        Some((block, e.stride, e.confidence))
+    }
 }
 
 impl Default for StridePrefetcher {
@@ -84,27 +113,10 @@ impl Default for StridePrefetcher {
 
 impl Prefetcher for StridePrefetcher {
     fn on_demand_access(&mut self, ctx: &AccessContext, out: &mut Vec<PrefetchRequest>) {
-        let idx = (ctx.pc as usize >> 2) & (self.table.len() - 1);
-        let block = block_number(ctx.addr);
-        let e = &mut self.table[idx];
-        if !e.valid || e.tag != ctx.pc {
-            *e = StrideEntry { valid: true, tag: ctx.pc, last_block: block, stride: 0, confidence: 0 };
-            return;
-        }
-        let stride = block as i64 - e.last_block as i64;
-        if stride != 0 {
-            if stride == e.stride {
-                e.confidence = (e.confidence + 1).min(3);
-            } else {
-                e.confidence = e.confidence.saturating_sub(1);
-                if e.confidence == 0 {
-                    e.stride = stride;
-                }
-            }
-            e.last_block = block;
-            if e.confidence >= 2 && e.stride != 0 {
+        if let Some((block, stride, confidence)) = self.update(ctx) {
+            if confidence >= 2 && stride != 0 {
                 for d in 1..=self.degree as i64 {
-                    let target = block as i64 + e.stride * d;
+                    let target = block as i64 + stride * d;
                     if target > 0 {
                         let addr = (target as u64) * BLOCK_SIZE;
                         if page_number(addr) == page_number(ctx.addr) {
@@ -118,6 +130,45 @@ impl Prefetcher for StridePrefetcher {
 
     fn name(&self) -> &'static str {
         "stride"
+    }
+}
+
+impl LookaheadSource for StridePrefetcher {
+    /// Unthrottled stream: exposes stride candidates below the internal
+    /// 2-bit confidence threshold too, mapping confidence 0..=3 onto
+    /// 25..=100 so an external filter can judge the weak ones.
+    fn candidates(&mut self, ctx: &AccessContext, out: &mut Vec<Candidate>) {
+        if let Some((block, stride, confidence)) = self.update(ctx) {
+            if stride == 0 {
+                return;
+            }
+            for d in 1..=self.degree as i64 {
+                let target = block as i64 + stride * d;
+                if target <= 0 {
+                    continue;
+                }
+                let addr = (target as u64) * BLOCK_SIZE;
+                if page_number(addr) != page_number(ctx.addr) {
+                    continue;
+                }
+                out.push(Candidate::new(
+                    addr,
+                    CandidateMeta {
+                        depth: d as u8,
+                        signature: (ctx.pc >> 2) as u16 & 0xFFF,
+                        confidence: 25 * confidence + 25,
+                        delta: (stride * d) as i16,
+                        trigger_pc: ctx.pc,
+                        trigger_addr: ctx.addr,
+                        source: SourceId::PRIMARY,
+                    },
+                ));
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "stride-unthrottled"
     }
 }
 
@@ -179,6 +230,7 @@ mod tests {
     #[test]
     fn names() {
         assert_eq!(NextLine::default().name(), "next-line");
-        assert_eq!(StridePrefetcher::default().name(), "stride");
+        assert_eq!(Prefetcher::name(&StridePrefetcher::default()), "stride");
+        assert_eq!(LookaheadSource::name(&StridePrefetcher::default()), "stride-unthrottled");
     }
 }

@@ -9,6 +9,7 @@
 //! `X + best`. If no offset scores above the bad-score threshold, prefetching
 //! turns off — BOP's built-in accuracy safeguard.
 
+use crate::lookahead::{Candidate, CandidateMeta, LookaheadSource, SourceId};
 use ppf_sim::addr::{block_number, page_number, BLOCK_SIZE};
 use ppf_sim::{AccessContext, FillLevel, Prefetcher, PrefetchRequest};
 
@@ -50,6 +51,9 @@ pub struct Bop {
     test_index: usize,
     round_count: u32,
     best_offset: i64,
+    /// Winning score of the last completed learning round (drives the
+    /// synthesized confidence of the unthrottled candidate stream).
+    best_score: u32,
     enabled: bool,
 }
 
@@ -68,6 +72,7 @@ impl Bop {
             test_index: 0,
             round_count: 0,
             best_offset: 1,
+            best_score: cfg.bad_score + 1,
             enabled: true,
             cfg,
         }
@@ -102,21 +107,17 @@ impl Bop {
         let (winner, &score) =
             self.scores.iter().enumerate().max_by_key(|(_, &s)| s).expect("offsets non-empty");
         self.best_offset = OFFSETS[winner];
+        self.best_score = score;
         self.enabled = score > self.cfg.bad_score;
         self.scores.iter_mut().for_each(|s| *s = 0);
         self.round_count = 0;
         self.test_index = 0;
     }
-}
 
-impl Default for Bop {
-    fn default() -> Self {
-        Self::new(BopConfig::default())
-    }
-}
-
-impl Prefetcher for Bop {
-    fn on_demand_access(&mut self, ctx: &AccessContext, out: &mut Vec<PrefetchRequest>) {
+    /// The learning step shared by the throttled ([`Prefetcher`]) and
+    /// unthrottled ([`LookaheadSource`]) paths: test one candidate offset,
+    /// advance the round, record the access in the RR table.
+    fn learn(&mut self, ctx: &AccessContext) {
         let block = block_number(ctx.addr);
 
         // Learning step: test the next candidate offset.
@@ -147,6 +148,25 @@ impl Prefetcher for Bop {
         // *fill* to capture timeliness; inserting on access is the standard
         // trace-level simplification and preserves offset selection.)
         self.rr_insert(block);
+    }
+
+    /// Synthesized path confidence for the unthrottled stream: the winning
+    /// score as a fraction of `score_max`, decayed per lookahead step.
+    fn unthrottled_confidence(&self, depth: u8) -> u8 {
+        let base = (self.best_score.min(self.cfg.score_max) * 100 / self.cfg.score_max) as u8;
+        base.saturating_sub(15 * (depth - 1)).min(100)
+    }
+}
+
+impl Default for Bop {
+    fn default() -> Self {
+        Self::new(BopConfig::default())
+    }
+}
+
+impl Prefetcher for Bop {
+    fn on_demand_access(&mut self, ctx: &AccessContext, out: &mut Vec<PrefetchRequest>) {
+        self.learn(ctx);
 
         // Prefetch with the selected offset.
         if self.enabled {
@@ -161,6 +181,41 @@ impl Prefetcher for Bop {
 
     fn name(&self) -> &'static str {
         "bop"
+    }
+}
+
+impl LookaheadSource for Bop {
+    /// Unthrottled candidate stream: emits the selected offset chain even
+    /// while BOP's own accuracy safeguard has prefetching switched off — the
+    /// external filter judges instead. Confidence reflects the last round's
+    /// winning score, so a disabled BOP advertises weak candidates rather
+    /// than none.
+    fn candidates(&mut self, ctx: &AccessContext, out: &mut Vec<Candidate>) {
+        self.learn(ctx);
+        for d in 1..=self.cfg.degree as i64 {
+            let target = ctx.addr as i64 + self.best_offset * d * BLOCK_SIZE as i64;
+            if target >= 0 && page_number(target as u64) == page_number(ctx.addr) {
+                let depth = d as u8;
+                out.push(Candidate::new(
+                    target as u64,
+                    CandidateMeta {
+                        depth,
+                        // Encode the active offset so PPF's signature features
+                        // can discriminate offset regimes.
+                        signature: 0xB00 | (self.best_offset as u16 & 0xFF),
+                        confidence: self.unthrottled_confidence(depth),
+                        delta: (self.best_offset * d) as i16,
+                        trigger_pc: ctx.pc,
+                        trigger_addr: ctx.addr,
+                        source: SourceId::PRIMARY,
+                    },
+                ));
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bop-unthrottled"
     }
 }
 

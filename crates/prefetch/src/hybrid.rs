@@ -1,0 +1,313 @@
+//! Hybrid-prefetcher composition: fuse any set of [`LookaheadSource`]s into
+//! one provenance-tagged candidate stream.
+//!
+//! Real deployments run prefetcher *ensembles*, not a single scheme. The
+//! [`Hybrid`] combinator pulls each member's unthrottled candidates for a
+//! demand access, tags every candidate with the member's [`SourceId`], and
+//! interleaves the streams in depth order (shallow speculation first, ties
+//! resolved by member position). An external filter such as PPF then judges
+//! the fused stream — and, via the source-id feature table, learns *which
+//! member to trust* in which context.
+//!
+//! Feedback ([`Feedback`]) routes by provenance: an attributed event reaches
+//! exactly the member that produced the prefetch; an unattributed one
+//! ([`SourceId::UNKNOWN`], e.g. the filter's tracking entry was evicted) is
+//! broadcast to every member. A single-member hybrid is therefore
+//! *bit-identical* to the bare source: the merge is an identity copy and the
+//! member sees exactly one feedback event per prefetch either way.
+
+use crate::lookahead::{Candidate, Feedback, LookaheadSource, SourceId, MAX_SOURCES};
+use ppf_sim::AccessContext;
+
+/// A composed lookahead source fusing up to [`MAX_SOURCES`] member schemes.
+pub struct Hybrid {
+    sources: Vec<Box<dyn LookaheadSource>>,
+    name: &'static str,
+    /// Per-member candidate buffers, reused across accesses.
+    scratch: Vec<Vec<Candidate>>,
+    /// Per-member merge cursors, reused across accesses.
+    cursors: Vec<usize>,
+}
+
+impl std::fmt::Debug for Hybrid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hybrid").field("name", &self.name).finish()
+    }
+}
+
+impl Hybrid {
+    /// Composes `sources` into one fused stream. The display name is built
+    /// from the members' names, e.g. `hybrid(spp-unthrottled+bop-unthrottled)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty or has more than [`MAX_SOURCES`] members.
+    pub fn new(sources: Vec<Box<dyn LookaheadSource>>) -> Hybrid {
+        assert!(!sources.is_empty(), "hybrid needs at least one source");
+        assert!(sources.len() <= MAX_SOURCES, "hybrid supports at most {MAX_SOURCES} sources");
+        let joined =
+            sources.iter().map(|s| s.name()).collect::<Vec<_>>().join("+");
+        // LookaheadSource::name returns &'static str; a hybrid's name exists
+        // only at runtime, so leak the handful of bytes once per instance.
+        let name: &'static str = Box::leak(format!("hybrid({joined})").into_boxed_str());
+        let n = sources.len();
+        Hybrid { sources, name, scratch: vec![Vec::new(); n], cursors: vec![0; n] }
+    }
+
+    /// Number of member schemes.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether the hybrid has no members (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Display names of the members, in [`SourceId`] order.
+    pub fn member_names(&self) -> Vec<&'static str> {
+        self.sources.iter().map(|s| s.name()).collect()
+    }
+}
+
+impl LookaheadSource for Hybrid {
+    /// Pulls every member's candidates, tags provenance, and k-way-merges
+    /// the streams by depth (stable: ties keep member order, and each
+    /// member's own candidate order is preserved). Member streams need not
+    /// be depth-sorted; the merge always picks the shallowest remaining
+    /// head. Confidence is clamped to the documented 0..=100 here, at the
+    /// composition boundary, so a misbehaving member cannot push an
+    /// out-of-range value into the filter's 128-entry confidence table.
+    fn candidates(&mut self, ctx: &AccessContext, out: &mut Vec<Candidate>) {
+        let n = self.sources.len();
+        for i in 0..n {
+            let buf = &mut self.scratch[i];
+            buf.clear();
+            self.sources[i].candidates(ctx, buf);
+            for c in buf.iter_mut() {
+                c.meta.source = SourceId(i as u8);
+                c.meta.confidence = c.meta.confidence.min(100);
+            }
+        }
+        self.cursors.iter_mut().for_each(|c| *c = 0);
+        loop {
+            let mut best: Option<(u8, usize)> = None;
+            for i in 0..n {
+                if self.cursors[i] < self.scratch[i].len() {
+                    let d = self.scratch[i][self.cursors[i]].meta.depth;
+                    // Strict `<` keeps the lowest member index on ties.
+                    if best.is_none_or(|(bd, _)| d < bd) {
+                        best = Some((d, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else { break };
+            out.push(self.scratch[i][self.cursors[i]]);
+            self.cursors[i] += 1;
+        }
+    }
+
+    fn on_useful_prefetch(&mut self, fb: Feedback) {
+        match fb.source.member_index(self.sources.len()) {
+            Some(i) => self.sources[i].on_useful_prefetch(fb),
+            // Unattributed: every member learns the event (matches the
+            // pre-provenance behavior where the single source always did).
+            None => self.sources.iter_mut().for_each(|s| s.on_useful_prefetch(fb)),
+        }
+    }
+
+    fn on_prefetch_fill(&mut self, fb: Feedback) {
+        match fb.source.member_index(self.sources.len()) {
+            Some(i) => self.sources[i].on_prefetch_fill(fb),
+            None => self.sources.iter_mut().for_each(|s| s.on_prefetch_fill(fb)),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lookahead::CandidateMeta;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn ctx(pc: u64, addr: u64) -> AccessContext {
+        AccessContext { pc, addr, is_store: false, l2_hit: false, cycle: 0, core: 0 }
+    }
+
+    fn cand(addr: u64, depth: u8, conf: u8) -> Candidate {
+        Candidate {
+            addr,
+            meta: CandidateMeta {
+                depth,
+                signature: 0x111,
+                confidence: conf,
+                delta: 1,
+                trigger_pc: 0,
+                trigger_addr: 0,
+                source: SourceId::PRIMARY,
+            },
+        }
+    }
+
+    /// Emits a fixed candidate list and counts feedback events.
+    struct Scripted {
+        cands: Vec<Candidate>,
+        useful: Rc<Cell<u32>>,
+        fills: Rc<Cell<u32>>,
+        name: &'static str,
+    }
+
+    impl LookaheadSource for Scripted {
+        fn candidates(&mut self, _ctx: &AccessContext, out: &mut Vec<Candidate>) {
+            out.extend_from_slice(&self.cands);
+        }
+        fn on_useful_prefetch(&mut self, _fb: Feedback) {
+            self.useful.set(self.useful.get() + 1);
+        }
+        fn on_prefetch_fill(&mut self, _fb: Feedback) {
+            self.fills.set(self.fills.get() + 1);
+        }
+        fn name(&self) -> &'static str {
+            self.name
+        }
+    }
+
+    type Counter = Rc<Cell<u32>>;
+
+    fn scripted(
+        name: &'static str,
+        cands: Vec<Candidate>,
+    ) -> (Box<dyn LookaheadSource>, Counter, Counter) {
+        let useful = Rc::new(Cell::new(0));
+        let fills = Rc::new(Cell::new(0));
+        (Box::new(Scripted { cands, useful: useful.clone(), fills: fills.clone(), name }), useful, fills)
+    }
+
+    #[test]
+    fn single_source_merge_is_identity() {
+        let cands = vec![cand(0x40, 1, 80), cand(0x80, 2, 60), cand(0xC0, 2, 40)];
+        let (src, _, _) = scripted("a", cands.clone());
+        let mut h = Hybrid::new(vec![src]);
+        let mut out = Vec::new();
+        h.candidates(&ctx(1, 0x1000), &mut out);
+        assert_eq!(out, cands, "single-source hybrid must copy the stream verbatim");
+    }
+
+    #[test]
+    fn merge_interleaves_by_depth_with_stable_ties() {
+        let (a, _, _) = scripted("a", vec![cand(0x100, 1, 80), cand(0x140, 2, 70)]);
+        let (b, _, _) = scripted("b", vec![cand(0x200, 1, 90), cand(0x240, 3, 50)]);
+        let mut h = Hybrid::new(vec![a, b]);
+        let mut out = Vec::new();
+        h.candidates(&ctx(1, 0x1000), &mut out);
+        let shape: Vec<(u64, u8, u8)> =
+            out.iter().map(|c| (c.addr, c.meta.depth, c.meta.source.0)).collect();
+        assert_eq!(
+            shape,
+            vec![(0x100, 1, 0), (0x200, 1, 1), (0x140, 2, 0), (0x240, 3, 1)],
+            "depth order, ties to the lower member index"
+        );
+    }
+
+    #[test]
+    fn merge_handles_unsorted_member_streams() {
+        // A member that violates the shallow-first convention still merges
+        // into global depth order without losing candidates.
+        let (a, _, _) = scripted("a", vec![cand(0x100, 3, 80), cand(0x140, 1, 70)]);
+        let (b, _, _) = scripted("b", vec![cand(0x200, 2, 90)]);
+        let mut h = Hybrid::new(vec![a, b]);
+        let mut out = Vec::new();
+        h.candidates(&ctx(1, 0x1000), &mut out);
+        assert_eq!(out.len(), 3);
+        // Depth-1 head of `a` is behind its depth-3 head, so depth 2 of `b`
+        // wins first; within `a`, order is preserved.
+        let depths: Vec<u8> = out.iter().map(|c| c.meta.depth).collect();
+        assert_eq!(depths, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn provenance_tagged_and_confidence_clamped() {
+        let (a, _, _) = scripted("a", vec![cand(0x100, 1, 250)]);
+        let (b, _, _) = scripted("b", vec![cand(0x200, 1, 100)]);
+        let mut h = Hybrid::new(vec![a, b]);
+        let mut out = Vec::new();
+        h.candidates(&ctx(1, 0x1000), &mut out);
+        assert_eq!(out[0].meta.source, SourceId(0));
+        assert_eq!(out[1].meta.source, SourceId(1));
+        assert_eq!(out[0].meta.confidence, 100, "boundary clamp");
+    }
+
+    #[test]
+    fn attributed_feedback_reaches_only_the_originating_member() {
+        let (a, useful_a, fills_a) = scripted("a", vec![]);
+        let (b, useful_b, fills_b) = scripted("b", vec![]);
+        let mut h = Hybrid::new(vec![a, b]);
+        h.on_useful_prefetch(Feedback { addr: 0x40, source: SourceId(1) });
+        h.on_prefetch_fill(Feedback { addr: 0x40, source: SourceId(1) });
+        assert_eq!((useful_a.get(), useful_b.get()), (0, 1));
+        assert_eq!((fills_a.get(), fills_b.get()), (0, 1));
+    }
+
+    #[test]
+    fn unattributed_feedback_broadcasts() {
+        let (a, useful_a, _) = scripted("a", vec![]);
+        let (b, useful_b, _) = scripted("b", vec![]);
+        let mut h = Hybrid::new(vec![a, b]);
+        h.on_useful_prefetch(Feedback::unattributed(0x40));
+        assert_eq!((useful_a.get(), useful_b.get()), (1, 1));
+    }
+
+    #[test]
+    fn name_lists_members() {
+        let (a, _, _) = scripted("alpha", vec![]);
+        let (b, _, _) = scripted("beta", vec![]);
+        let h = Hybrid::new(vec![a, b]);
+        assert_eq!(h.name(), "hybrid(alpha+beta)");
+        assert_eq!(h.member_names(), vec!["alpha", "beta"]);
+        assert_eq!(h.len(), 2);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn empty_hybrid_rejected() {
+        let _ = Hybrid::new(Vec::new());
+    }
+
+    #[test]
+    fn real_sources_compose() {
+        use crate::{Bop, DaAmpm, Spp};
+        let mut h = Hybrid::new(vec![
+            Box::new(Spp::default()),
+            Box::new(Bop::default()),
+            Box::new(DaAmpm::default()),
+        ]);
+        assert_eq!(
+            h.name(),
+            "hybrid(spp-unthrottled+bop-unthrottled+da-ampm-unthrottled)"
+        );
+        let mut out = Vec::new();
+        let mut total = 0usize;
+        let mut distinct = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            out.clear();
+            h.candidates(&ctx(0x400, 0x10_0000 + i * 64), &mut out);
+            total += out.len();
+            // Each fused stream is depth-sorted (members emit shallow-first).
+            assert!(out.windows(2).all(|w| w[0].meta.depth <= w[1].meta.depth));
+            for c in &out {
+                assert!(c.meta.confidence <= 100);
+                assert!(usize::from(c.meta.source.0) < 3);
+                distinct.insert(c.meta.source.0);
+            }
+        }
+        assert!(total > 0, "a unit stride must produce fused candidates");
+        // At least two distinct members contribute on a plain stride.
+        assert!(distinct.len() >= 2, "sources seen: {distinct:?}");
+    }
+}

@@ -13,7 +13,10 @@
 //! * [`Sms`] — Spatial Memory Streaming (spatial footprints, Sec 7.1),
 //! * [`Sandbox`] — Sandbox Prefetching (Bloom-filter candidate evaluation,
 //!   Sec 7.1),
-//! * [`NextLine`], [`StridePrefetcher`] — reference baselines.
+//! * [`NextLine`], [`StridePrefetcher`] — reference baselines,
+//! * [`Hybrid`] — ensemble combinator fusing any set of [`LookaheadSource`]s
+//!   (SPP+BOP, SPP+DA-AMPM, stride+VLDP, …) into one provenance-tagged
+//!   candidate stream with per-member credit attribution.
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@
 pub mod ampm;
 pub mod baselines;
 pub mod bop;
+pub mod hybrid;
 pub mod lookahead;
 pub mod sandbox;
 pub mod sms;
@@ -49,7 +53,10 @@ pub mod vldp;
 pub use ampm::{AmpmConfig, DaAmpm};
 pub use baselines::{NextLine, StridePrefetcher};
 pub use bop::{Bop, BopConfig};
-pub use lookahead::{depth_window_len, Candidate, CandidateMeta, LookaheadSource};
+pub use hybrid::Hybrid;
+pub use lookahead::{
+    depth_window_len, Candidate, CandidateMeta, Feedback, LookaheadSource, SourceId, MAX_SOURCES,
+};
 pub use sandbox::{Sandbox, SandboxConfig};
 pub use sms::{Sms, SmsConfig};
 pub use spp::{update_signature, Spp, SppConfig, SppStats};

@@ -18,7 +18,7 @@
 //! can do the filtering instead (paper Sec 4.1: "original thresholds
 //! discarded").
 
-use crate::lookahead::{Candidate, CandidateMeta, LookaheadSource};
+use crate::lookahead::{Candidate, CandidateMeta, Feedback, LookaheadSource, SourceId};
 use ppf_sim::addr::{page_number, page_offset_blocks, BLOCKS_PER_PAGE, BLOCK_BITS};
 use ppf_sim::{AccessContext, FillLevel, Prefetcher, PrefetchRequest};
 
@@ -377,6 +377,7 @@ impl Spp {
                         delta: d,
                         trigger_pc: ctx.pc,
                         trigger_addr: ctx.addr,
+                        source: SourceId::PRIMARY,
                     },
                 });
                 self.stats.emitted += 1;
@@ -452,12 +453,12 @@ impl LookaheadSource for Spp {
         self.generate(ctx, floor, out);
     }
 
-    fn on_useful_prefetch(&mut self, addr: u64) {
-        Prefetcher::on_useful_prefetch(self, addr);
+    fn on_useful_prefetch(&mut self, fb: Feedback) {
+        Prefetcher::on_useful_prefetch(self, fb.addr);
     }
 
-    fn on_prefetch_fill(&mut self, addr: u64) {
-        Prefetcher::on_prefetch_fill(self, addr, FillLevel::L2);
+    fn on_prefetch_fill(&mut self, fb: Feedback) {
+        Prefetcher::on_prefetch_fill(self, fb.addr, FillLevel::L2);
     }
 
     fn name(&self) -> &'static str {

@@ -11,7 +11,7 @@
 //! [`LookaheadSource`], so PPF can filter it — demonstrating the paper's
 //! claim that the filter is agnostic to the underlying prefetcher.
 
-use crate::lookahead::{Candidate, CandidateMeta, LookaheadSource};
+use crate::lookahead::{Candidate, CandidateMeta, LookaheadSource, SourceId};
 use ppf_sim::addr::{page_number, page_offset_blocks, BLOCKS_PER_PAGE};
 use ppf_sim::{AccessContext, FillLevel, Prefetcher, PrefetchRequest};
 
@@ -204,6 +204,7 @@ impl Vldp {
                     delta: pred,
                     trigger_pc: ctx.pc,
                     trigger_addr: ctx.addr,
+                    source: SourceId::PRIMARY,
                 },
             });
             cursor = target;

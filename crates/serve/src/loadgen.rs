@@ -61,6 +61,7 @@ impl FeatureTracker {
             confidence: self.stable,
             delta,
             depth: (delta.unsigned_abs() % 4) as u8,
+            source: 0,
         };
         self.pcs = [rec.pc, self.pcs[0], self.pcs[1]];
         self.last_block = block;

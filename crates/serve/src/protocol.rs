@@ -130,6 +130,9 @@ pub fn decode_candidate(buf: &[u8], at: usize) -> Candidate {
         delta: read_u16(buf, at + 44) as i16,
         confidence: buf[at + 46],
         depth: buf[at + 47],
+        // The wire format predates source attribution; remote candidates
+        // score as the primary (bare) source.
+        source: 0,
     };
     Candidate { inputs, target: read_u64(buf, at + 48) }
 }
@@ -341,6 +344,7 @@ mod tests {
             delta: -42,
             confidence: 99,
             depth: 7,
+            source: 0,
         };
         ScoreRequest {
             tenant: "t000-619.lbm_s".into(),

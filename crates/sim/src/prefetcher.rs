@@ -82,6 +82,14 @@ pub trait Prefetcher {
 
     /// Called when a demand access hits a line that a prefetch brought in
     /// (first use only) — the "useful prefetch" feedback event.
+    ///
+    /// Feedback is deliberately **address-keyed**: the cache models real
+    /// hardware, which knows only which block was hit, not which internal
+    /// scheme of a composed prefetcher predicted it. Prefetchers that fuse
+    /// multiple schemes (see `ppf_prefetchers::Hybrid` behind the PPF
+    /// wrapper) resolve the address back to the issuing scheme via their
+    /// own issued-prefetch tracking table before routing credit, rather
+    /// than expecting provenance on the wire here.
     fn on_useful_prefetch(&mut self, addr: u64) {
         let _ = addr;
     }

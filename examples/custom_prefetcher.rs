@@ -11,7 +11,7 @@
 //! ```
 
 use ppf_repro::filter::Ppf;
-use ppf_repro::prefetchers::{Candidate, CandidateMeta, LookaheadSource};
+use ppf_repro::prefetchers::{Candidate, CandidateMeta, LookaheadSource, SourceId};
 use ppf_repro::sim::{
     run_single_core, AccessContext, FillLevel, NoPrefetcher, Prefetcher, PrefetchRequest,
     SystemConfig,
@@ -40,6 +40,7 @@ impl BlastStride {
                     delta: k as i16,
                     trigger_pc: ctx.pc,
                     trigger_addr: ctx.addr,
+                    source: SourceId::PRIMARY,
                 },
             });
         }

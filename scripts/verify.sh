@@ -24,6 +24,12 @@
 #                                 #   profiled build must hold the <5%
 #                                 #   overhead budget, cover >=90% of wall
 #                                 #   time, and export schema-valid JSONL
+#   scripts/verify.sh --hybrid    # hybrid gate only: fig09 --quick stdout
+#                                 #   must be byte-identical with the PPF
+#                                 #   scheme routed through a single-member
+#                                 #   Hybrid (PPF_WRAP_HYBRID=1), and the
+#                                 #   fig_hybrid fusion ablation must run
+#                                 #   clean with per-source attribution
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -205,6 +211,50 @@ run_profile_gate() {
     echo "profile gate: OK (off byte-identical, on within budget, exports valid)"
 }
 
+# Hybrid gate: the hybrid combinator must be an identity for one member and
+# a working fusion for two. (1) fig09 --quick runs twice — PPF filtering a
+# bare SPP (default) and the same SPP routed through a single-member Hybrid
+# (PPF_WRAP_HYBRID=1) — and the stdout tables must be byte-identical. (2)
+# the fig_hybrid fusion ablation runs --quick and must report per-source
+# attribution for both fused columns.
+run_hybrid_gate() {
+    echo "== hybrid gate: fig09 --quick, bare SPP vs single-member Hybrid =="
+    hy_dir="$(mktemp -d)"
+    hy_bin="$(pwd)/target/release/fig09_single_core"
+    ( cd "$hy_dir" && PPF_CHECKPOINT_DIR="$hy_dir/bare" \
+        "$hy_bin" --quick > "$hy_dir/bare.out" 2>/dev/null ) \
+        || { echo "hybrid gate: fig09 (bare) failed"; rm -rf "$hy_dir"; exit 1; }
+    ( cd "$hy_dir" && PPF_WRAP_HYBRID=1 PPF_CHECKPOINT_DIR="$hy_dir/wrapped" \
+        "$hy_bin" --quick > "$hy_dir/wrapped.out" 2>/dev/null ) \
+        || { echo "hybrid gate: fig09 (PPF_WRAP_HYBRID=1) failed"; rm -rf "$hy_dir"; exit 1; }
+    cmp -s "$hy_dir/bare.out" "$hy_dir/wrapped.out" \
+        || { echo "hybrid gate: single-member Hybrid is not an identity"; \
+             diff "$hy_dir/bare.out" "$hy_dir/wrapped.out" | head -20; \
+             rm -rf "$hy_dir"; exit 1; }
+
+    echo "== hybrid gate: fig_hybrid --quick (fusion ablation) =="
+    fh_bin="$(pwd)/target/release/fig_hybrid"
+    ( cd "$hy_dir" && PPF_CHECKPOINT_DIR="$hy_dir/fusion" \
+        "$fh_bin" --quick > "$hy_dir/fusion.out" 2>/dev/null ) \
+        || { echo "hybrid gate: fig_hybrid failed"; cat "$hy_dir/fusion.out"; \
+             rm -rf "$hy_dir"; exit 1; }
+    grep -q "PPF(SPP+BOP) per-source attribution" "$hy_dir/fusion.out" \
+        || { echo "hybrid gate: missing SPP+BOP attribution table"; \
+             cat "$hy_dir/fusion.out"; rm -rf "$hy_dir"; exit 1; }
+    grep -q "PPF(SPP+AMPM) per-source attribution" "$hy_dir/fusion.out" \
+        || { echo "hybrid gate: missing SPP+AMPM attribution table"; \
+             cat "$hy_dir/fusion.out"; rm -rf "$hy_dir"; exit 1; }
+    rm -rf "$hy_dir"
+    echo "hybrid gate: OK (single-member identity holds, fusion attributes per source)"
+}
+
+if [ "$mode" = "--hybrid" ]; then
+    cargo build --release -q -p ppf-bench
+    run_hybrid_gate
+    echo "verify: OK"
+    exit 0
+fi
+
 if [ "$mode" = "--profile" ]; then
     cargo build --release -q -p ppf-bench
     run_profile_gate
@@ -262,6 +312,8 @@ run_fault_drill
 run_horizon_gate
 
 run_serve_gate
+
+run_hybrid_gate
 
 if [ "$mode" = "--quick" ] || [ "$mode" = "--bench" ]; then
     echo "== fig09 smoke run (--quick) =="
